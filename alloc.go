@@ -1,0 +1,44 @@
+package meshalloc
+
+import (
+	"meshalloc/internal/alloc"
+	"meshalloc/internal/comm"
+	"meshalloc/internal/curve"
+	"meshalloc/internal/mesh"
+)
+
+// Mesh is a 2-D mesh machine description.
+type Mesh = mesh.Mesh
+
+// NewMesh returns a width x height mesh.
+func NewMesh(width, height int) *Mesh { return mesh.New(width, height) }
+
+// Allocator assigns processor sets to jobs; see the alloc package.
+type Allocator = alloc.Allocator
+
+// AllocRequest asks an Allocator for processors.
+type AllocRequest = alloc.Request
+
+// NewAllocator builds the allocator named by spec ("mc", "mc1x1",
+// "genalg", "random", "<curve>", or "<curve>/<strategy>") over m.
+func NewAllocator(m *Mesh, spec string, seed int64) (Allocator, error) {
+	return alloc.Spec(m, spec, seed)
+}
+
+func allocSpecs() []string { return alloc.Specs() }
+
+// Curves returns the available mesh linearizations.
+func Curves() []string { return curve.All() }
+
+// Patterns returns the available communication patterns.
+func Patterns() []string { return comm.All() }
+
+// CurveOrder returns the node ids of a w x h mesh in the order of the
+// named curve.
+func CurveOrder(name string, w, h int) ([]int, error) {
+	c, err := curve.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return c.Order(w, h), nil
+}

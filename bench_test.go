@@ -1,0 +1,354 @@
+// Benchmarks regenerating every table and figure of the paper at a
+// reduced scale, plus the ablation benches for the design choices called
+// out in DESIGN.md and micro-benchmarks of the substrates.
+//
+// The figure benches report the experiment's headline quantity (mean
+// response time, Pearson r, percent contiguous) through b.ReportMetric so
+// `go test -bench` doubles as a tabular summary of the reproduction.
+package meshalloc
+
+import (
+	"fmt"
+	"testing"
+
+	"meshalloc/internal/alloc"
+	"meshalloc/internal/binpack"
+	"meshalloc/internal/core"
+	"meshalloc/internal/curve"
+	"meshalloc/internal/mesh"
+	"meshalloc/internal/netsim"
+	"meshalloc/internal/sim"
+	"meshalloc/internal/trace"
+)
+
+// benchOpt is the reduced experiment scale used by the figure benches.
+func benchOpt() core.Options {
+	return core.Options{Jobs: 300, TimeScale: 0.01, Seed: 1, Loads: []float64{1.0, 0.2}}
+}
+
+// benchTrace returns a small shared workload for single-run benches.
+func benchTrace(jobs, maxSize int) *trace.Trace {
+	return trace.NewSDSC(trace.SDSCConfig{Jobs: jobs, MaxSize: maxSize, Seed: 1}).FilterMaxSize(maxSize)
+}
+
+func BenchmarkFig1TestSuiteCorrelation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := core.Fig1(core.Options{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPearson(b, fig)
+	}
+}
+
+func BenchmarkFig6Truncation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig := core.Fig6()
+		if len(fig.Tables) != 2 {
+			b.Fatal("fig6 incomplete")
+		}
+	}
+}
+
+// benchResponseFigure runs one pattern/mesh slice of Figures 7/8 and
+// reports the best and worst allocator's mean response at 5x load.
+func benchResponseFigure(b *testing.B, w, h int, pattern string) {
+	tr := benchTrace(300, w*h)
+	for i := 0; i < b.N; i++ {
+		best, worst := "", ""
+		bestY, worstY := 0.0, 0.0
+		for _, spec := range alloc.Specs() {
+			res, err := sim.Run(sim.Config{
+				MeshW: w, MeshH: h,
+				Alloc: spec, Pattern: pattern,
+				Load: 0.2, TimeScale: 0.01, Seed: 1,
+			}, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if best == "" || res.MeanResponse < bestY {
+				best, bestY = spec, res.MeanResponse
+			}
+			if worst == "" || res.MeanResponse > worstY {
+				worst, worstY = spec, res.MeanResponse
+			}
+		}
+		b.ReportMetric(bestY, "best_resp_s")
+		b.ReportMetric(worstY, "worst_resp_s")
+		if i == 0 {
+			b.Logf("%s %dx%d: best %s (%.0f s), worst %s (%.0f s)", pattern, w, h, best, bestY, worst, worstY)
+		}
+	}
+}
+
+func BenchmarkFig7aAllToAll16x22(b *testing.B) { benchResponseFigure(b, 16, 22, "alltoall") }
+func BenchmarkFig7bNBody16x22(b *testing.B)    { benchResponseFigure(b, 16, 22, "nbody") }
+func BenchmarkFig7cRandom16x22(b *testing.B)   { benchResponseFigure(b, 16, 22, "random") }
+func BenchmarkFig8aAllToAll16x16(b *testing.B) { benchResponseFigure(b, 16, 16, "alltoall") }
+func BenchmarkFig8bNBody16x16(b *testing.B)    { benchResponseFigure(b, 16, 16, "nbody") }
+func BenchmarkFig8cRandom16x16(b *testing.B)   { benchResponseFigure(b, 16, 16, "random") }
+
+func BenchmarkFig9PairwiseDistance(b *testing.B) {
+	opt := core.Options{Jobs: 1200, TimeScale: 0.01, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		fig, err := core.Fig9(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPearson(b, fig)
+	}
+}
+
+func BenchmarkFig10MessageDistance(b *testing.B) {
+	opt := core.Options{Jobs: 1200, TimeScale: 0.01, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		fig, err := core.Fig10(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		reportPearson(b, fig)
+	}
+}
+
+func BenchmarkFig11Contiguity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := core.Fig11(benchOpt())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Top row's contiguity percentage.
+		var pct float64
+		fmt.Sscanf(fig.Tables[0].Rows[0][1], "%g%%", &pct)
+		b.ReportMetric(pct, "top_pct_contig")
+	}
+}
+
+func reportPearson(b *testing.B, fig *core.Figure) {
+	b.Helper()
+	for _, n := range fig.Notes {
+		var r float64
+		if i := indexOf(n, "Pearson r = "); i >= 0 {
+			if _, err := fmt.Sscanf(n[i:], "Pearson r = %g", &r); err == nil {
+				b.ReportMetric(r, "pearson_r")
+				return
+			}
+		}
+	}
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+// --- Ablation benches (design choices called out in DESIGN.md) ---
+
+func ablationRun(b *testing.B, mutate func(*sim.Config)) float64 {
+	b.Helper()
+	tr := benchTrace(250, 256)
+	cfg := sim.Config{
+		MeshW: 16, MeshH: 16,
+		Alloc: "hilbert/bestfit", Pattern: "nbody",
+		Load: 0.4, TimeScale: 0.01, Seed: 1,
+	}
+	mutate(&cfg)
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.MeanResponse
+}
+
+func BenchmarkAblationIssueMode(b *testing.B) {
+	for _, mode := range []sim.IssueMode{sim.IssuePhased, sim.IssueSequential} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				y := ablationRun(b, func(c *sim.Config) { c.Issue = mode })
+				b.ReportMetric(y, "mean_resp_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationStrategy(b *testing.B) {
+	for _, strat := range []string{"hilbert", "hilbert/firstfit", "hilbert/bestfit", "hilbert/sumofsquares"} {
+		b.Run(strat, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				y := ablationRun(b, func(c *sim.Config) { c.Alloc = strat })
+				b.ReportMetric(y, "mean_resp_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationTruncation(b *testing.B) {
+	// S-curve runs along the short versus long dimension on the
+	// non-square 16x22 mesh.
+	tr := benchTrace(250, 352)
+	for _, spec := range []string{"scurve/bestfit", "scurve-long/bestfit"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					MeshW: 16, MeshH: 22,
+					Alloc: spec, Pattern: "nbody",
+					Load: 0.4, TimeScale: 0.01, Seed: 1,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MeanResponse, "mean_resp_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationFlits(b *testing.B) {
+	for _, flits := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("flits%d", flits), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				y := ablationRun(b, func(c *sim.Config) {
+					c.Net = netsim.DefaultConfig()
+					c.Net.MessageFlits = flits
+				})
+				b.ReportMetric(y, "mean_resp_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationMCShape(b *testing.B) {
+	for _, spec := range []string{"mc", "mc1x1"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				y := ablationRun(b, func(c *sim.Config) { c.Alloc = spec })
+				b.ReportMetric(y, "mean_resp_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationRouting(b *testing.B) {
+	for _, r := range []netsim.Routing{netsim.RouteXY, netsim.RouteYX, netsim.RouteAdaptive} {
+		b.Run(r.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				y := ablationRun(b, func(c *sim.Config) {
+					c.Net = netsim.DefaultConfig()
+					c.Net.Routing = r
+				})
+				b.ReportMetric(y, "mean_resp_s")
+			}
+		})
+	}
+}
+
+func BenchmarkExtContiguousBaselines(b *testing.B) {
+	tr := benchTrace(200, 256)
+	for _, spec := range []string{"buddy", "submesh", "hilbert/bestfit"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					MeshW: 16, MeshH: 16,
+					Alloc: spec, Pattern: "alltoall",
+					Load: 0.4, TimeScale: 0.01, Seed: 1,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.UtilizationPct, "utilization_pct")
+				b.ReportMetric(res.MeanResponse, "mean_resp_s")
+			}
+		})
+	}
+}
+
+func BenchmarkAblationScheduler(b *testing.B) {
+	for _, sch := range []string{"fcfs", "easy"} {
+		b.Run(sch, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				y := ablationRun(b, func(c *sim.Config) { c.Scheduler = sch })
+				b.ReportMetric(y, "mean_resp_s")
+			}
+		})
+	}
+}
+
+// --- Micro-benchmarks of the substrates ---
+
+func BenchmarkAllocate(b *testing.B) {
+	m := mesh.New(16, 22)
+	for _, spec := range alloc.Specs() {
+		b.Run(spec, func(b *testing.B) {
+			a, err := alloc.Spec(m, spec, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ids, err := a.Allocate(alloc.Request{Size: 16})
+				if err != nil {
+					b.Fatal(err)
+				}
+				a.Release(ids)
+			}
+		})
+	}
+}
+
+func BenchmarkNetworkSend(b *testing.B) {
+	m := mesh.New(16, 22)
+	n := netsim.New(m, netsim.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(i%m.Size(), (i*7+13)%m.Size(), float64(i))
+	}
+}
+
+func BenchmarkCurveOrder(b *testing.B) {
+	for _, name := range curve.All() {
+		b.Run(name, func(b *testing.B) {
+			c, err := curve.ByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				if got := c.Order(16, 22); len(got) != 352 {
+					b.Fatal("bad order")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkBinpackStrategies(b *testing.B) {
+	order := curve.Hilbert{}.Order(16, 22)
+	for _, s := range []binpack.Strategy{binpack.FreeList, binpack.FirstFit, binpack.BestFit, binpack.SumOfSquares} {
+		b.Run(s.String(), func(b *testing.B) {
+			p := binpack.New(order)
+			for i := 0; i < b.N; i++ {
+				ids, err := p.Allocate(24, s)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Release(ids)
+			}
+		})
+	}
+}
+
+func BenchmarkEndToEndSmall(b *testing.B) {
+	tr := benchTrace(100, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(sim.Config{
+			MeshW: 8, MeshH: 8,
+			Alloc: "hilbert/bestfit", Pattern: "alltoall",
+			TimeScale: 0.01, Seed: 1,
+		}, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command curveviz renders a mesh linearization as a grid of curve ranks
+// (paper Figures 2 and 6) and prints its locality metrics.
+//
+//	curveviz -curve hilbert -mesh 16x22
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meshalloc/internal/curve"
+)
+
+func main() {
+	var (
+		name     = flag.String("curve", "hilbert", "curve name (rowmajor, scurve, scurve-long, hilbert, hindex)")
+		meshSpec = flag.String("mesh", "8x8", "mesh dimensions WxH")
+		list     = flag.Bool("list", false, "list available curves and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, n := range curve.All() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	var w, h int
+	if _, err := fmt.Sscanf(*meshSpec, "%dx%d", &w, &h); err != nil || w <= 0 || h <= 0 {
+		fmt.Fprintf(os.Stderr, "curveviz: bad mesh spec %q\n", *meshSpec)
+		os.Exit(1)
+	}
+	c, err := curve.ByName(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "curveviz:", err)
+		os.Exit(1)
+	}
+	order := c.Order(w, h)
+	fmt.Printf("%s on %dx%d:\n\n%s\n", c.Name(), w, h, curve.Render(order, w, h))
+	rep := curve.Locality(order, w, h)
+	fmt.Printf("locality: max step %d, avg step %.3f, gaps %d, max adjacency stretch %d\n",
+		rep.MaxStep, rep.AvgStep, rep.Gaps, rep.MaxAdjacencyStretch)
+}

@@ -1,0 +1,189 @@
+// Command simrun executes a single allocation/pattern simulation over a
+// synthetic SDSC Paragon trace (or a trace file) and prints the summary
+// metrics: mean/median response time, contiguity, and network statistics.
+//
+// Example:
+//
+//	simrun -mesh 16x22 -alloc hilbert/bestfit -pattern nbody -load 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"meshalloc/internal/mesh"
+	"meshalloc/internal/metrics"
+	"meshalloc/internal/netsim"
+	"meshalloc/internal/sim"
+	"meshalloc/internal/trace"
+)
+
+func main() {
+	var (
+		meshSpec  = flag.String("mesh", "16x22", "mesh dimensions WxH")
+		allocSpec = flag.String("alloc", "hilbert/bestfit", "allocator spec (e.g. mc, mc1x1, genalg, hilbert/bestfit, scurve)")
+		pattern   = flag.String("pattern", "alltoall", "communication pattern (alltoall, nbody, random, ring, pingpong, testsuite)")
+		load      = flag.Float64("load", 1.0, "arrival contraction factor (1 down to 0.2)")
+		timeScale = flag.Float64("timescale", 0.02, "trace time contraction for tractability")
+		jobs      = flag.Int("jobs", 6087, "number of synthetic trace jobs")
+		seed      = flag.Int64("seed", 1, "random seed")
+		scheduler = flag.String("sched", "fcfs", "scheduling policy (fcfs or easy)")
+		issue     = flag.String("issue", "phased", "message issue mode (phased or sequential)")
+		routing   = flag.String("routing", "xy", "network routing (xy, yx, adaptive)")
+		torus     = flag.Bool("torus", false, "wraparound (torus) links")
+		traceFile = flag.String("trace", "", "replay a trace file instead of synthesizing one")
+		swf       = flag.Bool("swf", false, "parse -trace as Standard Workload Format")
+		verbose   = flag.Bool("v", false, "print per-job records")
+		heatmap   = flag.Bool("heatmap", false, "print a node-level link-utilization heatmap")
+		disperse  = flag.Bool("dispersal", false, "print aggregate dispersal metrics of the allocations")
+	)
+	flag.Parse()
+
+	w, h, err := parseMesh(*meshSpec)
+	if err != nil {
+		fatal(err)
+	}
+
+	var tr *trace.Trace
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		if *swf {
+			tr, err = trace.ReadSWF(f)
+		} else {
+			tr, err = trace.Read(f)
+		}
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		tr = trace.NewSDSC(trace.SDSCConfig{Jobs: *jobs, MaxSize: w * h, Seed: *seed})
+	}
+	tr = tr.FilterMaxSize(w * h)
+
+	cfg := sim.Config{
+		MeshW: w, MeshH: h,
+		Torus:     *torus,
+		Alloc:     *allocSpec,
+		Pattern:   *pattern,
+		Load:      *load,
+		TimeScale: *timeScale,
+		Seed:      *seed,
+		Scheduler: *scheduler,
+	}
+	if *issue == "sequential" {
+		cfg.Issue = sim.IssueSequential
+	} else if *issue != "phased" {
+		fatal(fmt.Errorf("unknown issue mode %q", *issue))
+	}
+	route, err := netsim.RoutingByName(*routing)
+	if err != nil {
+		fatal(err)
+	}
+	cfg.Net = netsim.DefaultConfig()
+	cfg.Net.Routing = route
+
+	res, err := sim.Run(cfg, tr)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("mesh %dx%d  alloc %-18s pattern %-9s load %.2f  jobs %d\n",
+		w, h, *allocSpec, *pattern, *load, len(res.Records))
+	fmt.Printf("mean response    %14.0f s\n", res.MeanResponse)
+	fmt.Printf("median response  %14.0f s\n", res.MedianResponse)
+	fmt.Printf("makespan         %14.0f s\n", res.Makespan)
+	fmt.Printf("contiguous       %13.1f %%   avg components %.2f\n", res.PctContiguous, res.AvgComponents)
+	fmt.Printf("network: %d messages, avg %.2f hops, avg latency %.3f s (scaled)\n",
+		res.Net.Messages, res.Net.AvgHops(), res.Net.AvgLatency())
+
+	if *heatmap {
+		fmt.Println("\nlink-utilization heatmap (0-9 per node, '.' = idle):")
+		fmt.Print(renderHeatmap(res.NodeUtilization, w, h))
+	}
+
+	if *disperse {
+		m := meshForDims(w, h, *torus)
+		ms := make([]metrics.Dispersal, len(res.Records))
+		sizes := make([]int, len(res.Records))
+		for i, r := range res.Records {
+			ms[i] = metrics.Measure(m, r.Nodes)
+			sizes[i] = r.Size
+		}
+		s := metrics.Summarize(ms, sizes)
+		fmt.Printf("\ndispersal over %d allocations:\n", s.N)
+		fmt.Printf("  mean avg pairwise distance  %6.2f hops\n", s.MeanAvgPairwise)
+		fmt.Printf("  mean bounding-box fill      %6.2f\n", s.MeanBoundingFill)
+		fmt.Printf("  mean perimeter ratio        %6.2f (1.0 = ideal square)\n", s.MeanPerimeterRatio)
+		fmt.Printf("  mean components             %6.2f\n", s.MeanComponents)
+		fmt.Printf("  contiguous                  %6.1f %%\n", s.PctContiguous)
+	}
+
+	if *verbose {
+		fmt.Println("\n  id  size     quota     response      runtime  pairwise  msgdist comps")
+		for _, r := range res.Records {
+			fmt.Printf("%4d  %4d  %8d  %11.0f  %11.0f  %8.2f  %7.2f  %4d\n",
+				r.ID, r.Size, r.Quota, r.Response, r.RunTime, r.AvgPairwise, r.AvgMsgDist, r.Components)
+		}
+	}
+}
+
+// renderHeatmap draws per-node utilization as digit intensities.
+func renderHeatmap(util []float64, w, h int) string {
+	max := 0.0
+	for _, u := range util {
+		if u > max {
+			max = u
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := util[y*w+x]
+			switch {
+			case u == 0 || max == 0:
+				b.WriteByte('.')
+			default:
+				level := int(u / max * 9)
+				if level > 9 {
+					level = 9
+				}
+				b.WriteByte(byte('0' + level))
+			}
+			b.WriteByte(' ')
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func meshForDims(w, h int, torus bool) *mesh.Mesh {
+	if torus {
+		return mesh.NewTorus(w, h)
+	}
+	return mesh.New(w, h)
+}
+
+func parseMesh(s string) (w, h int, err error) {
+	parts := strings.Split(s, "x")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("bad mesh spec %q, want WxH", s)
+	}
+	if _, err := fmt.Sscanf(s, "%dx%d", &w, &h); err != nil {
+		return 0, 0, fmt.Errorf("bad mesh spec %q: %v", s, err)
+	}
+	if w <= 0 || h <= 0 {
+		return 0, 0, fmt.Errorf("bad mesh dimensions %dx%d", w, h)
+	}
+	return w, h, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simrun:", err)
+	os.Exit(1)
+}

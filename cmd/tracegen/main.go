@@ -1,0 +1,45 @@
+// Command tracegen emits a synthetic SDSC-Paragon-like trace in the
+// plain-text format understood by simrun's -trace flag, and prints the
+// trace's summary statistics next to the published targets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"meshalloc/internal/trace"
+)
+
+func main() {
+	var (
+		jobs    = flag.Int("jobs", 6087, "number of jobs")
+		maxSize = flag.Int("maxsize", 352, "maximum job size")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	tr := trace.NewSDSC(trace.SDSCConfig{Jobs: *jobs, MaxSize: *maxSize, Seed: *seed})
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := trace.Write(w, tr); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	s := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "jobs %d (paper: 6087)\n", s.Jobs)
+	fmt.Fprintf(os.Stderr, "mean interarrival %.0f s, CV %.2f (paper: 1301 s, 3.7)\n", s.MeanInterarrival, s.CVInterarrival)
+	fmt.Fprintf(os.Stderr, "mean size %.1f, CV %.2f (paper: 14.5, 1.5)\n", s.MeanSize, s.CVSize)
+	fmt.Fprintf(os.Stderr, "mean runtime %.0f s, CV %.2f (paper: 10944 s, 1.13)\n", s.MeanRuntime, s.CVRuntime)
+}

@@ -1,0 +1,65 @@
+// heatmap visualizes where network contention concentrates on the mesh
+// under a good allocator versus a dispersing one — the physical mechanism
+// behind every response-time difference in the paper.
+//
+//	go run ./examples/heatmap
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"meshalloc"
+)
+
+func main() {
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 300, MaxSize: 256, Seed: 5})
+
+	for _, spec := range []string{"hilbert/bestfit", "random"} {
+		res, err := meshalloc.Run(meshalloc.Config{
+			MeshW: 16, MeshH: 16,
+			Alloc:     spec,
+			Pattern:   "alltoall",
+			Load:      0.4,
+			TimeScale: 0.02,
+			Seed:      5,
+		}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — mean response %.0f s, avg message distance %.2f hops\n",
+			spec, res.MeanResponse, res.Net.AvgHops())
+		fmt.Println(render(res.NodeUtilization, 16, 16))
+	}
+	fmt.Println("Random placement stretches messages across the whole mesh, so")
+	fmt.Println("utilization (and queueing) spreads and intensifies; the curve")
+	fmt.Println("allocator keeps traffic inside compact per-job regions.")
+}
+
+// render maps node utilization onto a 0-9 intensity grid.
+func render(util []float64, w, h int) string {
+	max := 0.0
+	for _, u := range util {
+		if u > max {
+			max = u
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			u := util[y*w+x]
+			if u == 0 || max == 0 {
+				b.WriteString(". ")
+				continue
+			}
+			level := int(u / max * 9)
+			if level > 9 {
+				level = 9
+			}
+			fmt.Fprintf(&b, "%d ", level)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,49 @@
+// nbody ranks every allocation algorithm of the paper for the n-body
+// communication pattern — the workload whose CPlant behaviour (ring jobs
+// finishing faster under the 1-D allocator than under MC1x1) motivated
+// the study.
+//
+//	go run ./examples/nbody
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"meshalloc"
+)
+
+func main() {
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 600, MaxSize: 256, Seed: 3})
+
+	type entry struct {
+		spec string
+		resp float64
+	}
+	var ranking []entry
+	for _, spec := range meshalloc.Allocators() {
+		res, err := meshalloc.Run(meshalloc.Config{
+			MeshW: 16, MeshH: 16,
+			Alloc:     spec,
+			Pattern:   "nbody",
+			Load:      0.2, // 5x load: the regime where allocators separate
+			TimeScale: 0.02,
+			Seed:      3,
+		}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ranking = append(ranking, entry{spec: spec, resp: res.MeanResponse})
+	}
+	sort.Slice(ranking, func(i, j int) bool { return ranking[i].resp < ranking[j].resp })
+
+	fmt.Println("n-body on 16x16 at 5x load — allocators best to worst:")
+	for i, e := range ranking {
+		fmt.Printf("%2d. %-18s mean response %9.0f s\n", i+1, e.spec, e.resp)
+	}
+	fmt.Println("\nThe paper's observation: space-filling-curve strategies suit the")
+	fmt.Println("ring-structured n-body pattern (curve neighbours are mesh")
+	fmt.Println("neighbours), while the blob-building MC/MC1x1/Gen-Alg family")
+	fmt.Println("scatters ring neighbours and trails the field.")
+}

@@ -1,0 +1,37 @@
+// Quickstart: simulate a small synthetic workload on a 16x16 mesh under
+// two allocation algorithms and compare mean response time.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"meshalloc"
+)
+
+func main() {
+	// A 400-job workload statistically matched to the SDSC Paragon
+	// trace, capped to fit a 16x16 machine.
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 400, MaxSize: 256, Seed: 7})
+
+	for _, spec := range []string{"hilbert/bestfit", "scurve"} {
+		res, err := meshalloc.Run(meshalloc.Config{
+			MeshW: 16, MeshH: 16,
+			Alloc:     spec,
+			Pattern:   "alltoall",
+			Load:      0.4,  // pack arrivals 2.5x tighter than traced
+			TimeScale: 0.02, // contract the trace for a fast demo
+			Seed:      7,
+		}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s mean response %8.0f s   contiguous %5.1f%%   avg components %.2f\n",
+			spec, res.MeanResponse, res.PctContiguous, res.AvgComponents)
+	}
+	fmt.Println("\nHilbert with Best Fit keeps jobs compact, so all-to-all traffic")
+	fmt.Println("contends less and the FCFS queue drains faster than under the")
+	fmt.Println("plain sorted-free-list S-curve allocator.")
+}

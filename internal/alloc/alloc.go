@@ -1,0 +1,489 @@
+// Package alloc implements the processor-allocation algorithms compared in
+// the paper: the Paging / one-dimensional-reduction family (a space-filling
+// curve plus a bin-packing selection strategy), Mache et al.'s shape-aware
+// MC and its shape-oblivious CPlant variant MC1x1, Krumke et al.'s
+// Gen-Alg, and a random baseline.
+//
+// An Allocator owns the free/busy state of one machine. The simulator
+// calls Allocate when the FCFS scheduler starts a job and Release when the
+// job terminates.
+package alloc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"meshalloc/internal/binpack"
+	"meshalloc/internal/curve"
+	"meshalloc/internal/curveopt"
+	"meshalloc/internal/mesh"
+	"meshalloc/internal/stats"
+)
+
+// ErrInsufficient reports that a request exceeds the free processor count.
+var ErrInsufficient = errors.New("alloc: not enough free processors")
+
+// Request asks for Size processors. ShapeW x ShapeH is the submesh shape
+// the user would request on an MC system; when zero, shape-aware
+// allocators derive a near-square shape from Size.
+type Request struct {
+	Size   int
+	ShapeW int
+	ShapeH int
+}
+
+// Shape returns the request's submesh shape, deriving the most-square
+// shape with ShapeW >= ShapeH covering Size when none was given — the
+// bias toward rectangular allocations the paper attributes to real users.
+func (r Request) Shape() (w, h int) {
+	if r.ShapeW > 0 && r.ShapeH > 0 {
+		return r.ShapeW, r.ShapeH
+	}
+	w = int(math.Ceil(math.Sqrt(float64(r.Size))))
+	if w < 1 {
+		w = 1
+	}
+	h = (r.Size + w - 1) / w
+	if h < 1 {
+		h = 1
+	}
+	return w, h
+}
+
+// Allocator assigns sets of processors to jobs on a fixed mesh.
+type Allocator interface {
+	// Name identifies the algorithm, e.g. "hilbert/bestfit" or "mc1x1".
+	Name() string
+	// Allocate selects exactly req.Size free processors and marks them
+	// busy. It returns ErrInsufficient when the machine cannot satisfy
+	// the request.
+	Allocate(req Request) ([]int, error)
+	// Release frees processors previously returned by Allocate.
+	Release(ids []int)
+	// NumFree returns the current number of free processors.
+	NumFree() int
+	// Reset frees every processor.
+	Reset()
+}
+
+// Spec names an allocator configuration in the form used by the CLI tools
+// and the experiment harness:
+//
+//	"mc", "mc1x1", "genalg", "random",
+//	"submesh", "buddy" (contiguous baselines),
+//	"<curve>" (Paging with sorted free list),
+//	"<curve>/<strategy>" (Paging with a bin-packing strategy), or
+//	"<curve>/<strategy>/page<s>" (Lo et al.'s Paging with 2^s x 2^s pages),
+//
+// e.g. "hilbert/bestfit", "scurve/firstfit", "hindex",
+// "hilbert/freelist/page1".
+func Spec(m *mesh.Mesh, spec string, seed int64) (Allocator, error) {
+	switch spec {
+	case "mc":
+		return NewMC(m), nil
+	case "mc1x1":
+		return NewMC1x1(m), nil
+	case "genalg":
+		return NewGenAlg(m), nil
+	case "random":
+		return NewRandom(m, seed), nil
+	case "submesh":
+		return NewSubmeshFirstFit(m), nil
+	case "buddy":
+		if m.Width() != m.Height() || m.Width()&(m.Width()-1) != 0 {
+			return nil, fmt.Errorf("alloc: buddy requires a square power-of-two mesh, got %dx%d",
+				m.Width(), m.Height())
+		}
+		return NewBuddy(m), nil
+	}
+	parts := strings.Split(spec, "/")
+	var c curve.Curve
+	if parts[0] == "optcurve" {
+		// Locality-searched ordering for arbitrary topologies (the
+		// paper's integer-program idea); see the curveopt package.
+		c = curveopt.MeshCurve{Seed: seed}
+	} else {
+		var err error
+		c, err = curve.ByName(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("alloc: unknown allocator %q", spec)
+		}
+	}
+	strat := binpack.FreeList
+	if len(parts) >= 2 {
+		var err error
+		strat, err = binpack.StrategyByName(parts[1])
+		if err != nil {
+			return nil, err
+		}
+	}
+	switch {
+	case len(parts) == 2:
+		return NewPaging(m, c, strat), nil
+	case len(parts) == 3:
+		var s int
+		if _, err := fmt.Sscanf(parts[2], "page%d", &s); err != nil || s < 0 {
+			return nil, fmt.Errorf("alloc: bad page suffix %q in %q", parts[2], spec)
+		}
+		side := 1 << uint(s)
+		if side > m.Width() || side > m.Height() {
+			return nil, fmt.Errorf("alloc: page side %d exceeds mesh %dx%d", side, m.Width(), m.Height())
+		}
+		return NewPagedPaging(m, c, strat, s), nil
+	case len(parts) > 3:
+		return nil, fmt.Errorf("alloc: unknown allocator %q", spec)
+	}
+	return NewPaging(m, c, strat), nil
+}
+
+// Specs returns the nine allocator specs whose curves appear in the
+// paper's Figures 7 and 8: MC, MC1x1, Gen-Alg, and the three curves each
+// with sorted free list and Best Fit.
+func Specs() []string {
+	return []string{
+		"mc", "mc1x1", "genalg",
+		"hilbert", "hilbert/bestfit",
+		"hindex", "hindex/bestfit",
+		"scurve", "scurve/bestfit",
+	}
+}
+
+// Fig11Specs returns the twelve allocator specs of the paper's Figure 11
+// contiguity table: the nine graph algorithms plus First Fit for each
+// curve.
+func Fig11Specs() []string {
+	return append(Specs(),
+		"hilbert/firstfit", "hindex/firstfit", "scurve/firstfit")
+}
+
+// Paging is the one-dimensional-reduction allocator: processors are
+// ordered by a space-filling curve and selected with a bin-packing
+// strategy (page size 1, so no internal fragmentation).
+type Paging struct {
+	m      *mesh.Mesh
+	c      curve.Curve
+	strat  binpack.Strategy
+	packer *binpack.Packer
+}
+
+// NewPaging returns a Paging allocator over m using curve c and selection
+// strategy strat.
+func NewPaging(m *mesh.Mesh, c curve.Curve, strat binpack.Strategy) *Paging {
+	return &Paging{
+		m:      m,
+		c:      c,
+		strat:  strat,
+		packer: binpack.New(c.Order(m.Width(), m.Height())),
+	}
+}
+
+// Name implements Allocator.
+func (p *Paging) Name() string {
+	if p.strat == binpack.FreeList {
+		return p.c.Name()
+	}
+	return p.c.Name() + "/" + p.strat.String()
+}
+
+// Allocate implements Allocator.
+func (p *Paging) Allocate(req Request) ([]int, error) {
+	ids, err := p.packer.Allocate(req.Size, p.strat)
+	if err == binpack.ErrInsufficient {
+		return nil, ErrInsufficient
+	}
+	return ids, err
+}
+
+// Release implements Allocator.
+func (p *Paging) Release(ids []int) { p.packer.Release(ids) }
+
+// NumFree implements Allocator.
+func (p *Paging) NumFree() int { return p.packer.NumFree() }
+
+// Reset implements Allocator.
+func (p *Paging) Reset() { p.packer.Reset() }
+
+// tracker is the shared busy-set bookkeeping for the set-based allocators
+// (MC, Gen-Alg, Random).
+type tracker struct {
+	m       *mesh.Mesh
+	busy    []bool
+	numFree int
+}
+
+func newTracker(m *mesh.Mesh) tracker {
+	return tracker{m: m, busy: make([]bool, m.Size()), numFree: m.Size()}
+}
+
+func (t *tracker) NumFree() int { return t.numFree }
+
+func (t *tracker) Reset() {
+	for i := range t.busy {
+		t.busy[i] = false
+	}
+	t.numFree = len(t.busy)
+}
+
+func (t *tracker) Release(ids []int) {
+	for _, id := range ids {
+		if id < 0 || id >= len(t.busy) || !t.busy[id] {
+			panic(fmt.Sprintf("alloc: release of free or invalid id %d", id))
+		}
+		t.busy[id] = false
+	}
+	t.numFree += len(ids)
+}
+
+func (t *tracker) take(ids []int) {
+	for _, id := range ids {
+		t.busy[id] = true
+	}
+	t.numFree -= len(ids)
+}
+
+func (t *tracker) check(size int) error {
+	if size <= 0 {
+		return fmt.Errorf("alloc: invalid request size %d", size)
+	}
+	if size > t.numFree {
+		return ErrInsufficient
+	}
+	return nil
+}
+
+// MC is the shell-scoring allocator of Mache, Lo and Windisch. Every free
+// processor evaluates an allocation centered on itself: free processors
+// are gathered shell by shell outward from the requested submesh shape,
+// weighted by shell index, and the candidate with the lowest total weight
+// (cost) wins. MC1x1 is the same algorithm with shell 0 fixed at 1x1.
+type MC struct {
+	tracker
+	oneByOne bool
+}
+
+// NewMC returns the shape-aware MC allocator.
+func NewMC(m *mesh.Mesh) *MC { return &MC{tracker: newTracker(m)} }
+
+// NewMC1x1 returns the shape-oblivious CPlant variant whose shell 0 is a
+// single processor.
+func NewMC1x1(m *mesh.Mesh) *MC {
+	return &MC{tracker: newTracker(m), oneByOne: true}
+}
+
+// Name implements Allocator.
+func (a *MC) Name() string {
+	if a.oneByOne {
+		return "mc1x1"
+	}
+	return "mc"
+}
+
+// Allocate implements Allocator.
+func (a *MC) Allocate(req Request) ([]int, error) {
+	if err := a.check(req.Size); err != nil {
+		return nil, err
+	}
+	w, h := 1, 1
+	if !a.oneByOne {
+		w, h = req.Shape()
+	}
+	bestCost := -1
+	var best []int
+	for center := 0; center < a.m.Size(); center++ {
+		if a.busy[center] {
+			continue
+		}
+		ids, cost := a.gather(a.m.Coord(center), w, h, req.Size)
+		if ids == nil {
+			continue
+		}
+		if bestCost == -1 || cost < bestCost {
+			bestCost, best = cost, ids
+		}
+	}
+	if best == nil {
+		return nil, ErrInsufficient
+	}
+	a.take(best)
+	return best, nil
+}
+
+// gather collects size free processors in shells around center and
+// returns them with the summed shell-weight cost, or (nil, 0) if the
+// shells run out before size processors are found.
+func (a *MC) gather(center mesh.Point, w, h, size int) ([]int, int) {
+	ids := make([]int, 0, size)
+	cost := 0
+	maxK := a.m.MaxShells(w, h)
+	for k := 0; k <= maxK && len(ids) < size; k++ {
+		for _, id := range a.m.Shell(center, w, h, k) {
+			if a.busy[id] {
+				continue
+			}
+			ids = append(ids, id)
+			cost += k
+			if len(ids) == size {
+				break
+			}
+		}
+	}
+	if len(ids) < size {
+		return nil, 0
+	}
+	return ids, cost
+}
+
+// GenAlg is the (2-2/k)-approximation of Krumke et al. for minimizing
+// average pairwise distance: for every free processor p, take the k-1
+// free processors closest to p and score the set by total pairwise
+// distance; the best-scoring set wins.
+type GenAlg struct {
+	tracker
+}
+
+// NewGenAlg returns a Gen-Alg allocator over m.
+func NewGenAlg(m *mesh.Mesh) *GenAlg { return &GenAlg{tracker: newTracker(m)} }
+
+// Name implements Allocator.
+func (a *GenAlg) Name() string { return "genalg" }
+
+// Allocate implements Allocator.
+func (a *GenAlg) Allocate(req Request) ([]int, error) {
+	if err := a.check(req.Size); err != nil {
+		return nil, err
+	}
+	bestDist := -1
+	var best []int
+	for center := 0; center < a.m.Size(); center++ {
+		if a.busy[center] {
+			continue
+		}
+		ids := a.nearest(center, req.Size)
+		d := totalPairwiseL1(a.m, ids)
+		if bestDist == -1 || d < bestDist {
+			bestDist, best = d, ids
+		}
+	}
+	a.take(best)
+	return best, nil
+}
+
+// nearest returns the k free processors closest to center (inclusive),
+// gathered ring by Manhattan ring with row-major tie-breaking inside a
+// ring.
+func (a *GenAlg) nearest(center, k int) []int {
+	c := a.m.Coord(center)
+	ids := make([]int, 0, k)
+	maxR := a.m.Width() + a.m.Height()
+	for r := 0; r <= maxR && len(ids) < k; r++ {
+		for _, id := range ring(a.m, c, r) {
+			if a.busy[id] {
+				continue
+			}
+			ids = append(ids, id)
+			if len(ids) == k {
+				break
+			}
+		}
+	}
+	return ids
+}
+
+// ring returns the ids of mesh nodes at exactly Manhattan distance r from
+// c, in row-major order.
+func ring(m *mesh.Mesh, c mesh.Point, r int) []int {
+	if r == 0 {
+		if m.Contains(c) {
+			return []int{m.ID(c)}
+		}
+		return nil
+	}
+	ids := make([]int, 0, 4*r)
+	emit := func(x, y int) {
+		if x >= 0 && x < m.Width() && y >= 0 && y < m.Height() {
+			ids = append(ids, m.ID(mesh.Point{X: x, Y: y}))
+		}
+	}
+	for dy := -r; dy <= r; dy++ {
+		y := c.Y + dy
+		dx := r - abs(dy)
+		emit(c.X-dx, y)
+		if dx > 0 {
+			emit(c.X+dx, y)
+		}
+	}
+	return ids
+}
+
+// totalPairwiseL1 computes the total pairwise hop distance of the node
+// set, in O(k log k) on a plain mesh by handling the x and y axes
+// independently; torus distances are not separable this way, so they
+// fall back to the quadratic computation.
+func totalPairwiseL1(m *mesh.Mesh, ids []int) int {
+	if m.Torus() {
+		return m.TotalPairwiseDist(ids)
+	}
+	xs := make([]int, len(ids))
+	ys := make([]int, len(ids))
+	for i, id := range ids {
+		p := m.Coord(id)
+		xs[i], ys[i] = p.X, p.Y
+	}
+	return sortedAxisSum(xs) + sortedAxisSum(ys)
+}
+
+// sortedAxisSum returns sum over i<j of |v[i]-v[j]| via sorting and prefix
+// arithmetic.
+func sortedAxisSum(v []int) int {
+	sort.Ints(v)
+	total, prefix := 0, 0
+	for i, x := range v {
+		total += i*x - prefix
+		prefix += x
+	}
+	return total
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Random allocates uniformly random free processors. It is not in the
+// paper but provides the dispersal worst case that the contention model
+// can be sanity-checked against.
+type Random struct {
+	tracker
+	rng *stats.RNG
+}
+
+// NewRandom returns a Random allocator seeded with seed.
+func NewRandom(m *mesh.Mesh, seed int64) *Random {
+	return &Random{tracker: newTracker(m), rng: stats.NewRNG(seed)}
+}
+
+// Name implements Allocator.
+func (a *Random) Name() string { return "random" }
+
+// Allocate implements Allocator.
+func (a *Random) Allocate(req Request) ([]int, error) {
+	if err := a.check(req.Size); err != nil {
+		return nil, err
+	}
+	free := make([]int, 0, a.numFree)
+	for id, b := range a.busy {
+		if !b {
+			free = append(free, id)
+		}
+	}
+	a.rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
+	ids := append([]int(nil), free[:req.Size]...)
+	sort.Ints(ids)
+	a.take(ids)
+	return ids, nil
+}

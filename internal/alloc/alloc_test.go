@@ -1,0 +1,399 @@
+package alloc
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"meshalloc/internal/binpack"
+	"meshalloc/internal/curve"
+	"meshalloc/internal/mesh"
+)
+
+func allAllocators(t *testing.T, m *mesh.Mesh) []Allocator {
+	t.Helper()
+	var as []Allocator
+	for _, spec := range append(Fig11Specs(), "random") {
+		a, err := Spec(m, spec, 1)
+		if err != nil {
+			t.Fatalf("Spec(%q): %v", spec, err)
+		}
+		as = append(as, a)
+	}
+	return as
+}
+
+func TestSpecNames(t *testing.T) {
+	m := mesh.New(8, 8)
+	for _, spec := range append(Fig11Specs(), "random") {
+		a, err := Spec(m, spec, 1)
+		if err != nil {
+			t.Fatalf("Spec(%q): %v", spec, err)
+		}
+		if a.Name() != spec {
+			t.Errorf("Spec(%q).Name() = %q", spec, a.Name())
+		}
+	}
+	if _, err := Spec(m, "nope", 1); err == nil {
+		t.Error("unknown spec should fail")
+	}
+	if _, err := Spec(m, "hilbert/nope", 1); err == nil {
+		t.Error("unknown strategy should fail")
+	}
+}
+
+func TestRequestShape(t *testing.T) {
+	tests := []struct {
+		size, w, h int
+	}{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {5, 3, 2}, {6, 3, 2},
+		{9, 3, 3}, {12, 4, 3}, {24, 5, 5}, {30, 6, 5}, {128, 12, 11},
+	}
+	for _, tc := range tests {
+		w, h := Request{Size: tc.size}.Shape()
+		if w != tc.w || h != tc.h {
+			t.Errorf("Shape(%d) = %dx%d, want %dx%d", tc.size, w, h, tc.w, tc.h)
+		}
+		if w*h < tc.size {
+			t.Errorf("Shape(%d) = %dx%d does not cover the request", tc.size, w, h)
+		}
+	}
+	// Explicit shape passes through.
+	w, h := Request{Size: 6, ShapeW: 6, ShapeH: 1}.Shape()
+	if w != 6 || h != 1 {
+		t.Errorf("explicit shape = %dx%d", w, h)
+	}
+}
+
+// TestAllocateInvariants drives every allocator through an
+// allocate/release workload and checks the core contract: the right
+// count, all free beforehand, no duplicates, and full recovery on
+// release.
+func TestAllocateInvariants(t *testing.T) {
+	m := mesh.New(8, 8)
+	for _, a := range allAllocators(t, m) {
+		busy := map[int]bool{}
+		var live [][]int
+		sizes := []int{1, 5, 3, 16, 2, 7, 9, 4}
+		for _, sz := range sizes {
+			ids, err := a.Allocate(Request{Size: sz})
+			if err != nil {
+				t.Fatalf("%s: Allocate(%d): %v", a.Name(), sz, err)
+			}
+			if len(ids) != sz {
+				t.Fatalf("%s: got %d ids, want %d", a.Name(), len(ids), sz)
+			}
+			for _, id := range ids {
+				if id < 0 || id >= m.Size() {
+					t.Fatalf("%s: id %d out of range", a.Name(), id)
+				}
+				if busy[id] {
+					t.Fatalf("%s: id %d allocated twice", a.Name(), id)
+				}
+				busy[id] = true
+			}
+			live = append(live, ids)
+		}
+		want := m.Size() - len(busy)
+		if a.NumFree() != want {
+			t.Fatalf("%s: NumFree = %d, want %d", a.Name(), a.NumFree(), want)
+		}
+		for _, ids := range live {
+			a.Release(ids)
+		}
+		if a.NumFree() != m.Size() {
+			t.Fatalf("%s: NumFree after release = %d", a.Name(), a.NumFree())
+		}
+	}
+}
+
+func TestAllocateErrors(t *testing.T) {
+	m := mesh.New(4, 4)
+	for _, a := range allAllocators(t, m) {
+		if _, err := a.Allocate(Request{Size: 17}); err != ErrInsufficient {
+			t.Errorf("%s: oversize error = %v", a.Name(), err)
+		}
+		if _, err := a.Allocate(Request{Size: 0}); err == nil {
+			t.Errorf("%s: zero size should fail", a.Name())
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := mesh.New(4, 4)
+	for _, a := range allAllocators(t, m) {
+		if _, err := a.Allocate(Request{Size: 10}); err != nil {
+			t.Fatal(err)
+		}
+		a.Reset()
+		if a.NumFree() != 16 {
+			t.Errorf("%s: NumFree after reset = %d", a.Name(), a.NumFree())
+		}
+	}
+}
+
+func TestPagingFreeListOnEmptyMeshIsCurvePrefix(t *testing.T) {
+	m := mesh.New(8, 8)
+	c := curve.Hilbert{}
+	a := NewPaging(m, c, binpack.FreeList)
+	ids, err := a.Allocate(Request{Size: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.Order(8, 8)[:16]
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("free-list prefix = %v, want %v", ids, want)
+		}
+	}
+	// A Hilbert prefix of 16 on an empty mesh is a contiguous quadrant.
+	if !m.Contiguous(ids) {
+		t.Error("hilbert prefix should be contiguous")
+	}
+}
+
+func TestMCAllocatesRequestedShapeOnEmptyMesh(t *testing.T) {
+	m := mesh.New(8, 8)
+	a := NewMC(m)
+	ids, err := a.Allocate(Request{Size: 6, ShapeW: 3, ShapeH: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On an empty mesh the best candidate is a full 3x2 submesh: cost 0.
+	if !m.Contiguous(ids) {
+		t.Errorf("MC shape allocation not contiguous: %v", ids)
+	}
+	xs, ys := bounds(m, ids)
+	if xs != 3 || ys != 2 {
+		t.Errorf("MC allocated %dx%d bounding box, want 3x2", xs, ys)
+	}
+}
+
+func TestMC1x1CompactOnEmptyMesh(t *testing.T) {
+	m := mesh.New(8, 8)
+	a := NewMC1x1(m)
+	ids, err := a.Allocate(Request{Size: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1x1 shell 0 plus first shell (8 nodes) covers 5: all within
+	// distance 2 of the center, and contiguous on an empty mesh.
+	if !m.Contiguous(ids) {
+		t.Errorf("MC1x1 allocation not contiguous: %v", ids)
+	}
+	if d := m.AvgPairwiseDist(ids); d > 2.0 {
+		t.Errorf("MC1x1 allocation too dispersed: avg pairwise %g", d)
+	}
+}
+
+func TestGenAlgPicksCompactSet(t *testing.T) {
+	m := mesh.New(8, 8)
+	a := NewGenAlg(m)
+	ids, err := a.Allocate(Request{Size: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gen-Alg is a (2-2/k)-approximation of the optimum; the optimal 9-set
+	// is a 3x3 block with total pairwise distance 72. The heuristic's
+	// center-plus-nearest sets come close but need not be optimal.
+	got := m.TotalPairwiseDist(ids)
+	if got < 72 {
+		t.Errorf("Gen-Alg total pairwise distance %d beats the proven optimum 72", got)
+	}
+	if limit := int((2 - 2.0/9.0) * 72); got > limit {
+		t.Errorf("Gen-Alg total pairwise distance = %d, want <= approximation bound %d", got, limit)
+	}
+	if !m.Contiguous(ids) {
+		t.Errorf("Gen-Alg allocation on an empty mesh should be contiguous: %v", ids)
+	}
+}
+
+func TestGenAlgApproximationProperty(t *testing.T) {
+	// Gen-Alg is a (2 - 2/k)-approximation for total pairwise distance.
+	// Verify against brute force on a small mesh with random busy sets.
+	m := mesh.New(4, 4)
+	f := func(mask uint16, kRaw uint8) bool {
+		a := NewGenAlg(m)
+		var busy []int
+		for i := 0; i < 16; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				busy = append(busy, i)
+			}
+		}
+		if len(busy) >= 14 {
+			return true // not enough room to be interesting
+		}
+		if len(busy) > 0 {
+			a.take(busy)
+		}
+		var free []int
+		for id := 0; id < 16; id++ {
+			if !a.busy[id] {
+				free = append(free, id)
+			}
+		}
+		k := int(kRaw)%min(len(free), 5) + 1
+		if k < 2 {
+			return true
+		}
+		ids, err := a.Allocate(Request{Size: k})
+		if err != nil {
+			return false
+		}
+		got := totalPairwiseL1(m, ids)
+		best := bruteBest(m, free, k)
+		return float64(got) <= (2-2/float64(k))*float64(best)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteBest exhaustively finds the minimum total pairwise distance over
+// all k-subsets of the given free nodes.
+func bruteBest(m *mesh.Mesh, free []int, k int) int {
+	best := -1
+	var rec func(start int, chosen []int)
+	rec = func(start int, chosen []int) {
+		if len(chosen) == k {
+			d := totalPairwiseL1(m, chosen)
+			if best == -1 || d < best {
+				best = d
+			}
+			return
+		}
+		for i := start; i <= len(free)-(k-len(chosen)); i++ {
+			rec(i+1, append(chosen, free[i]))
+		}
+	}
+	rec(0, nil)
+	return best
+}
+
+func bounds(m *mesh.Mesh, ids []int) (w, h int) {
+	minX, minY := m.Width(), m.Height()
+	maxX, maxY := 0, 0
+	for _, id := range ids {
+		p := m.Coord(id)
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	return maxX - minX + 1, maxY - minY + 1
+}
+
+func TestRingEnumeration(t *testing.T) {
+	m := mesh.New(9, 9)
+	c := mesh.Point{X: 4, Y: 4}
+	for r := 0; r <= 8; r++ {
+		ids := ring(m, c, r)
+		seen := map[int]bool{}
+		for _, id := range ids {
+			if m.Coord(id).Manhattan(c) != r {
+				t.Fatalf("ring %d contains node at distance %d", r, m.Coord(id).Manhattan(c))
+			}
+			if seen[id] {
+				t.Fatalf("ring %d repeats node %d", r, id)
+			}
+			seen[id] = true
+		}
+		if r >= 1 && r <= 4 && len(ids) != 4*r {
+			t.Fatalf("interior ring %d has %d nodes, want %d", r, len(ids), 4*r)
+		}
+	}
+	if got := ring(m, c, 0); len(got) != 1 || got[0] != m.ID(c) {
+		t.Fatalf("ring 0 = %v", got)
+	}
+}
+
+func TestRingsCoverMesh(t *testing.T) {
+	m := mesh.New(5, 7)
+	c := mesh.Point{X: 0, Y: 6}
+	seen := map[int]bool{}
+	for r := 0; r <= 12; r++ {
+		for _, id := range ring(m, c, r) {
+			if seen[id] {
+				t.Fatalf("node %d in two rings", id)
+			}
+			seen[id] = true
+		}
+	}
+	if len(seen) != m.Size() {
+		t.Fatalf("rings cover %d nodes, want %d", len(seen), m.Size())
+	}
+}
+
+func TestTotalPairwiseL1MatchesMesh(t *testing.T) {
+	m := mesh.New(6, 6)
+	f := func(mask uint32) bool {
+		var ids []int
+		for i := 0; i < 32 && i < m.Size(); i++ {
+			if mask&(1<<uint(i)) != 0 {
+				ids = append(ids, i)
+			}
+		}
+		return totalPairwiseL1(m, ids) == m.TotalPairwiseDist(ids)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomAllocatorIsDeterministicPerSeed(t *testing.T) {
+	m := mesh.New(8, 8)
+	a1 := NewRandom(m, 42)
+	a2 := NewRandom(m, 42)
+	ids1, _ := a1.Allocate(Request{Size: 10})
+	ids2, _ := a2.Allocate(Request{Size: 10})
+	sort.Ints(ids1)
+	sort.Ints(ids2)
+	for i := range ids1 {
+		if ids1[i] != ids2[i] {
+			t.Fatal("same-seed random allocators disagree")
+		}
+	}
+}
+
+func TestMCPrefersCompactOverFragmented(t *testing.T) {
+	// Occupy a column splitting the mesh, leaving a 3-wide and a 4-wide
+	// region. MC1x1 asked for 9 should stay within one region rather
+	// than straddling the wall when possible.
+	m := mesh.New(8, 8)
+	a := NewMC1x1(m)
+	var wall []int
+	for y := 0; y < 8; y++ {
+		wall = append(wall, m.ID(mesh.Point{X: 3, Y: y}))
+	}
+	a.take(wall)
+	ids, err := a.Allocate(Request{Size: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	left, right := 0, 0
+	for _, id := range ids {
+		if m.Coord(id).X < 3 {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left != 0 && right != 0 {
+		t.Errorf("MC1x1 straddled the wall: %d left, %d right", left, right)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

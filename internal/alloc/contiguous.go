@@ -1,0 +1,284 @@
+package alloc
+
+import (
+	"fmt"
+
+	"meshalloc/internal/mesh"
+)
+
+// The paper's Section 2 recounts that initial processor-allocation
+// algorithms allocated only convex (contiguous) processor sets, which
+// eliminates interjob contention but "reduces system utilization to
+// levels unacceptable for any government-audited system". These two
+// classic contiguous allocators reproduce that trade-off as baselines:
+// they can refuse a request even when enough processors are free
+// (external fragmentation), leaving the FCFS head blocked.
+
+// SubmeshFirstFit is Zhu's first-fit submesh allocation: scan anchor
+// positions in row-major order and allocate the first fully-free
+// submesh of the request's shape (trying both orientations).
+type SubmeshFirstFit struct {
+	tracker
+}
+
+// NewSubmeshFirstFit returns a first-fit contiguous submesh allocator.
+func NewSubmeshFirstFit(m *mesh.Mesh) *SubmeshFirstFit {
+	return &SubmeshFirstFit{tracker: newTracker(m)}
+}
+
+// Name implements Allocator.
+func (a *SubmeshFirstFit) Name() string { return "submesh" }
+
+// Allocate implements Allocator. Unlike the noncontiguous algorithms it
+// returns ErrInsufficient whenever no free submesh covering the request
+// exists, even if enough processors are free in fragments.
+func (a *SubmeshFirstFit) Allocate(req Request) ([]int, error) {
+	if err := a.check(req.Size); err != nil {
+		return nil, err
+	}
+	for _, s := range a.candidateShapes(req) {
+		if ids := a.findFree(s[0], s[1], req.Size); ids != nil {
+			a.take(ids)
+			return ids, nil
+		}
+	}
+	return nil, ErrInsufficient
+}
+
+// candidateShapes lists the submesh shapes that cover the request and
+// fit the mesh, most-square first: the user-requested or derived shape
+// and its rotation, then every (ceil(size/h), h) that fits. Without the
+// fallback shapes a near-square request larger than the shorter mesh
+// dimension squared could never be placed.
+func (a *SubmeshFirstFit) candidateShapes(req Request) [][2]int {
+	var shapes [][2]int
+	seen := map[[2]int]bool{}
+	add := func(w, h int) {
+		s := [2]int{w, h}
+		if w >= 1 && h >= 1 && w <= a.m.Width() && h <= a.m.Height() && w*h >= req.Size && !seen[s] {
+			seen[s] = true
+			shapes = append(shapes, s)
+		}
+	}
+	w, h := req.Shape()
+	add(w, h)
+	add(h, w)
+	for hh := 1; hh <= a.m.Height(); hh++ {
+		add((req.Size+hh-1)/hh, hh)
+	}
+	// Most-square first so allocations stay compact when possible.
+	for i := 1; i < len(shapes); i++ {
+		for j := i; j > 0 && squareness(shapes[j]) < squareness(shapes[j-1]); j-- {
+			shapes[j], shapes[j-1] = shapes[j-1], shapes[j]
+		}
+	}
+	return shapes
+}
+
+func squareness(s [2]int) int { return abs(s[0] - s[1]) }
+
+// findFree returns the first size processors of the first fully-free
+// w x h submesh in row-major anchor order, or nil.
+func (a *SubmeshFirstFit) findFree(w, h, size int) []int {
+	if w > a.m.Width() || h > a.m.Height() {
+		return nil
+	}
+	for y := 0; y+h <= a.m.Height(); y++ {
+	anchors:
+		for x := 0; x+w <= a.m.Width(); x++ {
+			ids := a.m.Nodes(mesh.Submesh{Origin: mesh.Point{X: x, Y: y}, W: w, H: h})
+			for _, id := range ids {
+				if a.busy[id] {
+					continue anchors
+				}
+			}
+			return ids[:size]
+		}
+	}
+	return nil
+}
+
+// Buddy is the two-dimensional buddy system of Li and Cheng: the mesh is
+// viewed as a quadtree of square blocks; a job receives the smallest
+// power-of-two square block that covers its request, splitting larger
+// free blocks as needed and coalescing buddies on release. It requires
+// a square mesh whose side is a power of two.
+type Buddy struct {
+	m    *mesh.Mesh
+	side int
+	// free[level] holds the origins of free blocks of side side>>level,
+	// as a set for O(1) buddy lookups.
+	free    []map[mesh.Point]bool
+	alloced map[mesh.Point]int // origin -> level of live blocks
+	byFirst map[int]mesh.Point // first processor id -> block origin
+	numFree int
+}
+
+// NewBuddy returns a 2-D buddy allocator over m. It panics unless m is
+// a square power-of-two mesh, the structural requirement of the
+// algorithm.
+func NewBuddy(m *mesh.Mesh) *Buddy {
+	n := m.Width()
+	if m.Height() != n || n&(n-1) != 0 {
+		panic(fmt.Sprintf("alloc: buddy system needs a square power-of-two mesh, got %dx%d",
+			m.Width(), m.Height()))
+	}
+	levels := 1
+	for s := n; s > 1; s /= 2 {
+		levels++
+	}
+	b := &Buddy{
+		m:       m,
+		side:    n,
+		free:    make([]map[mesh.Point]bool, levels),
+		alloced: map[mesh.Point]int{},
+		byFirst: map[int]mesh.Point{},
+		numFree: m.Size(),
+	}
+	for i := range b.free {
+		b.free[i] = map[mesh.Point]bool{}
+	}
+	b.free[0][mesh.Point{X: 0, Y: 0}] = true
+	return b
+}
+
+// Name implements Allocator.
+func (b *Buddy) Name() string { return "buddy" }
+
+// blockSide returns the side of blocks at a level.
+func (b *Buddy) blockSide(level int) int { return b.side >> uint(level) }
+
+// levelFor returns the deepest level whose block covers size processors.
+func (b *Buddy) levelFor(size int) int {
+	level := len(b.free) - 1
+	for ; level > 0; level-- {
+		s := b.blockSide(level)
+		if s*s >= size {
+			return level
+		}
+	}
+	return 0
+}
+
+// Allocate implements Allocator. Jobs receive the first size processors
+// of a square block; the rest of the block is wasted (internal
+// fragmentation), and requests can fail on external fragmentation.
+func (b *Buddy) Allocate(req Request) ([]int, error) {
+	if req.Size <= 0 {
+		return nil, fmt.Errorf("alloc: invalid request size %d", req.Size)
+	}
+	if req.Size > b.numFree {
+		return nil, ErrInsufficient
+	}
+	level := b.levelFor(req.Size)
+	origin, ok := b.acquire(level)
+	if !ok {
+		return nil, ErrInsufficient
+	}
+	side := b.blockSide(level)
+	ids := b.m.Nodes(mesh.Submesh{Origin: origin, W: side, H: side})[:req.Size]
+	b.alloced[origin] = level
+	b.byFirst[b.m.ID(origin)] = origin
+	b.numFree -= side * side
+	return ids, nil
+}
+
+// acquire finds or splits a free block at the level, returning its
+// origin.
+func (b *Buddy) acquire(level int) (mesh.Point, bool) {
+	if len(b.free[level]) > 0 {
+		origin := smallestPoint(b.free[level])
+		delete(b.free[level], origin)
+		return origin, true
+	}
+	if level == 0 {
+		return mesh.Point{}, false
+	}
+	parent, ok := b.acquire(level - 1)
+	if !ok {
+		return mesh.Point{}, false
+	}
+	// Split the parent: keep the NW child, free the other three.
+	s := b.blockSide(level)
+	for _, d := range []mesh.Point{{X: s, Y: 0}, {X: 0, Y: s}, {X: s, Y: s}} {
+		b.free[level][parent.Add(d)] = true
+	}
+	return parent, true
+}
+
+// Release implements Allocator.
+func (b *Buddy) Release(ids []int) {
+	if len(ids) == 0 {
+		return
+	}
+	first := ids[0]
+	origin, ok := b.byFirst[first]
+	if !ok {
+		panic(fmt.Sprintf("alloc: buddy release of unknown block at id %d", first))
+	}
+	level := b.alloced[origin]
+	delete(b.byFirst, first)
+	delete(b.alloced, origin)
+	side := b.blockSide(level)
+	b.numFree += side * side
+	b.freeAndCoalesce(origin, level)
+}
+
+// freeAndCoalesce returns a block to the free lists, merging buddies
+// upward while all four children of a parent are free.
+func (b *Buddy) freeAndCoalesce(origin mesh.Point, level int) {
+	for level > 0 {
+		s := b.blockSide(level)
+		parent := mesh.Point{X: origin.X &^ (2*s - 1), Y: origin.Y &^ (2*s - 1)}
+		siblings := []mesh.Point{
+			parent,
+			{X: parent.X + s, Y: parent.Y},
+			{X: parent.X, Y: parent.Y + s},
+			{X: parent.X + s, Y: parent.Y + s},
+		}
+		allFree := true
+		for _, sib := range siblings {
+			if sib != origin && !b.free[level][sib] {
+				allFree = false
+				break
+			}
+		}
+		if !allFree {
+			break
+		}
+		for _, sib := range siblings {
+			delete(b.free[level], sib)
+		}
+		origin = parent
+		level--
+	}
+	b.free[level][origin] = true
+}
+
+// NumFree implements Allocator: processors in free blocks.
+func (b *Buddy) NumFree() int { return b.numFree }
+
+// Reset implements Allocator.
+func (b *Buddy) Reset() {
+	for i := range b.free {
+		b.free[i] = map[mesh.Point]bool{}
+	}
+	b.free[0][mesh.Point{X: 0, Y: 0}] = true
+	b.alloced = map[mesh.Point]int{}
+	b.byFirst = map[int]mesh.Point{}
+	b.numFree = b.m.Size()
+}
+
+// smallestPoint returns the lexicographically (y, x) smallest point of a
+// set, keeping buddy allocation deterministic.
+func smallestPoint(set map[mesh.Point]bool) mesh.Point {
+	var best mesh.Point
+	first := true
+	for p := range set {
+		if first || p.Y < best.Y || (p.Y == best.Y && p.X < best.X) {
+			best = p
+			first = false
+		}
+	}
+	return best
+}

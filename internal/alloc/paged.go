@@ -1,0 +1,148 @@
+package alloc
+
+import (
+	"fmt"
+
+	"meshalloc/internal/binpack"
+	"meshalloc/internal/curve"
+	"meshalloc/internal/mesh"
+)
+
+// PagedPaging is the original Paging algorithm of Lo et al. with page
+// size parameter s: the mesh is divided into 2^s x 2^s pages, pages are
+// ordered by a curve over the page grid, and jobs receive whole pages.
+// The paper fixes s = 0 (package type Paging) to avoid the internal
+// fragmentation this variant exhibits: a job of k processors holds
+// ceil(k / 4^s) pages, wasting the remainder of its last page.
+//
+// Pages that hang off a non-multiple-of-2^s mesh are clipped, so edge
+// pages may hold fewer than 4^s processors.
+type PagedPaging struct {
+	m        *mesh.Mesh
+	c        curve.Curve
+	strat    binpack.Strategy
+	s        int   // page size exponent
+	side     int   // page side length, 2^s
+	pageOf   []int // processor id -> page index
+	pages    [][]int
+	packer   *binpack.Packer // over page indices in curve order
+	pageBusy []bool
+	numFree  int // free processors, counting whole free pages
+}
+
+// NewPagedPaging returns a Paging allocator with page size s (side 2^s)
+// using curve c over the page grid and selection strategy strat. It
+// panics if s is negative or the page side exceeds either mesh
+// dimension: page geometry is static configuration.
+func NewPagedPaging(m *mesh.Mesh, c curve.Curve, strat binpack.Strategy, s int) *PagedPaging {
+	if s < 0 {
+		panic(fmt.Sprintf("alloc: negative page size %d", s))
+	}
+	side := 1 << uint(s)
+	if side > m.Width() || side > m.Height() {
+		panic(fmt.Sprintf("alloc: page side %d exceeds mesh %dx%d", side, m.Width(), m.Height()))
+	}
+	pw := (m.Width() + side - 1) / side
+	ph := (m.Height() + side - 1) / side
+
+	p := &PagedPaging{
+		m:     m,
+		c:     c,
+		strat: strat,
+		s:     s,
+		side:  side,
+	}
+	// Page grid ordering: run the curve over the pw x ph page mesh.
+	pageOrder := c.Order(pw, ph)
+	p.pages = make([][]int, pw*ph)
+	p.pageOf = make([]int, m.Size())
+	for id := 0; id < m.Size(); id++ {
+		pt := m.Coord(id)
+		page := (pt.Y/side)*pw + pt.X/side
+		p.pageOf[id] = page
+		p.pages[page] = append(p.pages[page], id)
+	}
+	p.packer = binpack.New(pageOrder)
+	p.pageBusy = make([]bool, pw*ph)
+	p.numFree = m.Size()
+	return p
+}
+
+// Name implements Allocator.
+func (p *PagedPaging) Name() string {
+	return fmt.Sprintf("%s/%s/page%d", p.c.Name(), p.strat.String(), p.s)
+}
+
+// Allocate implements Allocator. The returned ids are the first
+// req.Size processors of the allocated pages in page-curve order; the
+// remainder of the final page is wasted until release, exactly the
+// fragmentation the paper's s = 0 choice avoids.
+func (p *PagedPaging) Allocate(req Request) ([]int, error) {
+	if req.Size <= 0 {
+		return nil, fmt.Errorf("alloc: invalid request size %d", req.Size)
+	}
+	if req.Size > p.numFree {
+		return nil, ErrInsufficient
+	}
+	// Gather pages until the processor count is covered; edge pages may
+	// be clipped, so the page count is not simply ceil(size/side^2).
+	var pageIDs []int
+	covered := 0
+	for covered < req.Size {
+		n, err := p.packer.Allocate(1, p.strat)
+		if err != nil {
+			// Whole pages exhausted even though numFree said otherwise:
+			// put gathered pages back and refuse.
+			p.packer.Release(pageIDs)
+			return nil, ErrInsufficient
+		}
+		pageIDs = append(pageIDs, n[0])
+		covered += len(p.pages[n[0]])
+	}
+	ids := make([]int, 0, req.Size)
+	for _, pg := range pageIDs {
+		p.pageBusy[pg] = true
+		for _, id := range p.pages[pg] {
+			if len(ids) < req.Size {
+				ids = append(ids, id)
+			}
+		}
+		p.numFree -= len(p.pages[pg])
+	}
+	return ids, nil
+}
+
+// Release implements Allocator. The released ids identify their pages;
+// whole pages (including wasted processors) return to the free pool.
+func (p *PagedPaging) Release(ids []int) {
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 0 || id >= len(p.pageOf) {
+			panic(fmt.Sprintf("alloc: release of invalid id %d", id))
+		}
+		pg := p.pageOf[id]
+		if seen[pg] {
+			continue
+		}
+		if !p.pageBusy[pg] {
+			panic(fmt.Sprintf("alloc: release of free page %d (id %d)", pg, id))
+		}
+		seen[pg] = true
+		p.pageBusy[pg] = false
+		p.packer.Release([]int{pg})
+		p.numFree += len(p.pages[pg])
+	}
+}
+
+// NumFree implements Allocator: processors in free pages. Wasted
+// processors inside partially-used pages are not free.
+func (p *PagedPaging) NumFree() int { return p.numFree }
+
+// Reset implements Allocator.
+func (p *PagedPaging) Reset() {
+	p.packer.Reset()
+	for i := range p.pageBusy {
+		p.pageBusy[i] = false
+	}
+	p.numFree = p.m.Size()
+}

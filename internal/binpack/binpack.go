@@ -1,0 +1,339 @@
+// Package binpack implements the processor-selection strategies that the
+// Paging / one-dimensional-reduction allocators run along a curve
+// linearization of the mesh.
+//
+// Following Leung et al., each maximal interval of free processors with
+// contiguous curve ranks is a partially-filled "bin". An incoming request
+// is served from a bin chosen by a bin-packing heuristic (First Fit, Best
+// Fit, Sum-of-Squares) or, in the original Paging formulation of Lo et
+// al., simply from the prefix of a sorted free list. When no bin is large
+// enough, the request falls back to the set of free processors spanning
+// the smallest range of curve ranks.
+package binpack
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Strategy selects which free-rank interval serves a request.
+type Strategy int
+
+// Available selection strategies.
+const (
+	// FreeList allocates the first Size free ranks along the curve
+	// (Lo et al.'s sorted free list).
+	FreeList Strategy = iota
+	// FirstFit allocates from the first interval large enough.
+	FirstFit
+	// BestFit allocates from the interval that will have the fewest
+	// processors remaining.
+	BestFit
+	// SumOfSquares allocates from the interval that minimizes the sum of
+	// squared remaining interval lengths, the adaptation of the
+	// Csirik-Johnson Sum-of-Squares bin-packing heuristic that Leung et
+	// al. tried and found wanting.
+	SumOfSquares
+	// WorstFit allocates from the largest interval, the remaining
+	// member of Johnson's classic heuristic family; equivalent to
+	// SumOfSquares under this adaptation but kept distinct for clarity
+	// in ablation studies.
+	WorstFit
+	// NextFit allocates from the first fitting interval at or after the
+	// previously used one, wrapping around — Johnson's cheapest
+	// heuristic.
+	NextFit
+)
+
+// String implements fmt.Stringer.
+func (s Strategy) String() string {
+	switch s {
+	case FreeList:
+		return "freelist"
+	case FirstFit:
+		return "firstfit"
+	case BestFit:
+		return "bestfit"
+	case SumOfSquares:
+		return "sumofsquares"
+	case WorstFit:
+		return "worstfit"
+	case NextFit:
+		return "nextfit"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// StrategyByName parses a strategy name as produced by String.
+func StrategyByName(name string) (Strategy, error) {
+	switch name {
+	case "freelist":
+		return FreeList, nil
+	case "firstfit":
+		return FirstFit, nil
+	case "bestfit":
+		return BestFit, nil
+	case "sumofsquares":
+		return SumOfSquares, nil
+	case "worstfit":
+		return WorstFit, nil
+	case "nextfit":
+		return NextFit, nil
+	default:
+		return 0, fmt.Errorf("binpack: unknown strategy %q", name)
+	}
+}
+
+// ErrInsufficient reports that a request exceeds the free processor count.
+var ErrInsufficient = errors.New("binpack: not enough free processors")
+
+// Interval is a maximal run of free curve ranks [Start, Start+Len).
+type Interval struct {
+	Start, Len int
+}
+
+// Packer tracks the free/busy state of processors along a fixed curve
+// order and serves allocation requests by rank.
+type Packer struct {
+	order   []int // node id at each rank
+	rankOf  []int // rank of each node id
+	free    []bool
+	numFree int
+	// nextStart remembers where NextFit resumes scanning.
+	nextStart int
+}
+
+// New returns a Packer over the given curve order (a permutation of node
+// ids) with every processor free. It panics if order is not a
+// permutation: the curve is static configuration.
+func New(order []int) *Packer {
+	p := &Packer{
+		order:   append([]int(nil), order...),
+		rankOf:  make([]int, len(order)),
+		free:    make([]bool, len(order)),
+		numFree: len(order),
+	}
+	for i := range p.rankOf {
+		p.rankOf[i] = -1
+	}
+	for rank, id := range order {
+		if id < 0 || id >= len(order) || p.rankOf[id] != -1 {
+			panic(fmt.Sprintf("binpack: order is not a permutation (id %d)", id))
+		}
+		p.rankOf[id] = rank
+		p.free[rank] = true
+	}
+	return p
+}
+
+// NumFree returns the number of free processors.
+func (p *Packer) NumFree() int { return p.numFree }
+
+// Size returns the total number of processors.
+func (p *Packer) Size() int { return len(p.order) }
+
+// Reset marks every processor free.
+func (p *Packer) Reset() {
+	for i := range p.free {
+		p.free[i] = true
+	}
+	p.numFree = len(p.free)
+	p.nextStart = 0
+}
+
+// Intervals returns the current maximal free intervals in rank order.
+func (p *Packer) Intervals() []Interval {
+	var ivs []Interval
+	i := 0
+	for i < len(p.free) {
+		if !p.free[i] {
+			i++
+			continue
+		}
+		start := i
+		for i < len(p.free) && p.free[i] {
+			i++
+		}
+		ivs = append(ivs, Interval{Start: start, Len: i - start})
+	}
+	return ivs
+}
+
+// Allocate selects size free processors using the strategy, marks them
+// busy, and returns their node ids in rank order. It returns
+// ErrInsufficient when fewer than size processors are free and rejects
+// non-positive sizes.
+func (p *Packer) Allocate(size int, s Strategy) ([]int, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("binpack: invalid request size %d", size)
+	}
+	if size > p.numFree {
+		return nil, ErrInsufficient
+	}
+	var ranks []int
+	switch s {
+	case FreeList:
+		ranks = p.prefixRanks(size)
+	case FirstFit:
+		ranks = p.fitRanks(size, p.pickFirstFit)
+	case BestFit:
+		ranks = p.fitRanks(size, p.pickBestFit)
+	case SumOfSquares:
+		ranks = p.fitRanks(size, p.pickSumOfSquares)
+	case WorstFit:
+		ranks = p.fitRanks(size, p.pickWorstFit)
+	case NextFit:
+		ranks = p.fitRanks(size, p.pickNextFit)
+	default:
+		return nil, fmt.Errorf("binpack: unknown strategy %v", s)
+	}
+	ids := make([]int, len(ranks))
+	for i, r := range ranks {
+		p.free[r] = false
+		ids[i] = p.order[r]
+	}
+	p.numFree -= size
+	return ids, nil
+}
+
+// Release marks the processors with the given node ids free again. It
+// panics if an id is already free or out of range, which would indicate a
+// double release — a simulator bug worth failing loudly on.
+func (p *Packer) Release(ids []int) {
+	for _, id := range ids {
+		if id < 0 || id >= len(p.rankOf) {
+			panic(fmt.Sprintf("binpack: release of invalid id %d", id))
+		}
+		r := p.rankOf[id]
+		if p.free[r] {
+			panic(fmt.Sprintf("binpack: double release of id %d", id))
+		}
+		p.free[r] = true
+	}
+	p.numFree += len(ids)
+}
+
+// prefixRanks returns the first size free ranks (sorted free list).
+func (p *Packer) prefixRanks(size int) []int {
+	ranks := make([]int, 0, size)
+	for r := 0; r < len(p.free) && len(ranks) < size; r++ {
+		if p.free[r] {
+			ranks = append(ranks, r)
+		}
+	}
+	return ranks
+}
+
+// fitRanks serves a request from the interval chosen by pick, falling
+// back to the minimal-span window when no interval is large enough.
+func (p *Packer) fitRanks(size int, pick func([]Interval, int) int) []int {
+	ivs := p.Intervals()
+	if idx := pick(ivs, size); idx >= 0 {
+		iv := ivs[idx]
+		ranks := make([]int, size)
+		for i := range ranks {
+			ranks[i] = iv.Start + i
+		}
+		return ranks
+	}
+	return p.minSpanRanks(size)
+}
+
+// pickFirstFit returns the index of the first interval with Len >= size,
+// or -1.
+func (p *Packer) pickFirstFit(ivs []Interval, size int) int {
+	for i, iv := range ivs {
+		if iv.Len >= size {
+			return i
+		}
+	}
+	return -1
+}
+
+// pickBestFit returns the index of the smallest interval with Len >= size
+// (fewest processors remaining), or -1. Ties go to the earliest interval.
+func (p *Packer) pickBestFit(ivs []Interval, size int) int {
+	best, bestLen := -1, 0
+	for i, iv := range ivs {
+		if iv.Len >= size && (best == -1 || iv.Len < bestLen) {
+			best, bestLen = i, iv.Len
+		}
+	}
+	return best
+}
+
+// pickSumOfSquares returns the index of the fitting interval that
+// minimizes the sum of squared remaining free-interval lengths after the
+// allocation, or -1. Allocating size from an interval of length L changes
+// the sum by (L-size)^2 - L^2, so the minimizer is the largest fitting
+// interval; ties go to the earliest.
+func (p *Packer) pickSumOfSquares(ivs []Interval, size int) int {
+	best, bestDelta := -1, 0
+	for i, iv := range ivs {
+		if iv.Len < size {
+			continue
+		}
+		rem := iv.Len - size
+		delta := rem*rem - iv.Len*iv.Len
+		if best == -1 || delta < bestDelta {
+			best, bestDelta = i, delta
+		}
+	}
+	return best
+}
+
+// pickWorstFit returns the index of the largest fitting interval, or -1.
+// Ties go to the earliest.
+func (p *Packer) pickWorstFit(ivs []Interval, size int) int {
+	best, bestLen := -1, 0
+	for i, iv := range ivs {
+		if iv.Len >= size && iv.Len > bestLen {
+			best, bestLen = i, iv.Len
+		}
+	}
+	return best
+}
+
+// pickNextFit returns the first fitting interval at or after the last
+// allocation point, wrapping around, or -1. It also advances the resume
+// point.
+func (p *Packer) pickNextFit(ivs []Interval, size int) int {
+	if len(ivs) == 0 {
+		return -1
+	}
+	// Find the first interval whose start is >= nextStart.
+	first := 0
+	for i, iv := range ivs {
+		if iv.Start >= p.nextStart {
+			first = i
+			break
+		}
+		if i == len(ivs)-1 {
+			first = 0 // wrap
+		}
+	}
+	for k := 0; k < len(ivs); k++ {
+		i := (first + k) % len(ivs)
+		if ivs[i].Len >= size {
+			p.nextStart = ivs[i].Start + size
+			return i
+		}
+	}
+	return -1
+}
+
+// minSpanRanks returns the size free ranks whose range of ranks along the
+// curve is smallest — the fallback of Leung et al. when no bin can hold
+// the whole request. Ties go to the earliest window.
+func (p *Packer) minSpanRanks(size int) []int {
+	freeRanks := p.prefixRanks(p.numFree)
+	bestStart, bestSpan := 0, -1
+	for i := 0; i+size <= len(freeRanks); i++ {
+		span := freeRanks[i+size-1] - freeRanks[i]
+		if bestSpan == -1 || span < bestSpan {
+			bestStart, bestSpan = i, span
+		}
+	}
+	return freeRanks[bestStart : bestStart+size]
+}

@@ -1,0 +1,317 @@
+// Package comm generates the message streams of the communication
+// patterns studied in the paper: all-to-all, n-body (ring subphases plus a
+// chordal subphase), and random, plus the ring and all-pairs ping-pong
+// patterns from the CPlant communication test suite of Leung et al.
+// (Figure 1).
+//
+// Messages are expressed in job-local ranks 0..p-1; the simulator maps
+// ranks to the processors the allocator assigned. Patterns repeat forever;
+// the job's message quota decides when to stop drawing from them.
+package comm
+
+import (
+	"fmt"
+
+	"meshalloc/internal/stats"
+)
+
+// Msg is one message between two job-local ranks.
+type Msg struct {
+	Src, Dst int
+}
+
+// Generator is an infinite stream of messages grouped into phases. A
+// phase models one communication subphase in which all member messages
+// are logically concurrent (e.g. one ring shift).
+type Generator interface {
+	// Next returns the next message and whether it begins a new phase.
+	Next() (Msg, bool)
+}
+
+// Pattern builds generators for jobs of a given size.
+type Pattern interface {
+	// Name identifies the pattern, e.g. "nbody".
+	Name() string
+	// Generator returns the message stream for a job with p processors.
+	// Randomized patterns draw from rng; deterministic patterns ignore
+	// it. p must be positive.
+	Generator(p int, rng *stats.RNG) Generator
+}
+
+// ByName returns the pattern registered under name. Recognized names:
+// "alltoall", "nbody", "random", "ring", "pingpong", "testsuite".
+func ByName(name string) (Pattern, error) {
+	switch name {
+	case "alltoall":
+		return AllToAll{}, nil
+	case "nbody":
+		return NBody{}, nil
+	case "random":
+		return Random{}, nil
+	case "ring":
+		return Ring{}, nil
+	case "pingpong":
+		return PingPong{}, nil
+	case "testsuite":
+		return TestSuite{}, nil
+	case "mixed":
+		return Mixed{}, nil
+	default:
+		return nil, fmt.Errorf("comm: unknown pattern %q", name)
+	}
+}
+
+// All returns every registered pattern name.
+func All() []string {
+	return []string{"alltoall", "nbody", "random", "ring", "pingpong", "testsuite", "mixed"}
+}
+
+// phaseIter drives a fixed per-round message schedule: rounds of phases of
+// messages, repeated forever.
+type phaseIter struct {
+	phases [][]Msg
+	phase  int
+	idx    int
+}
+
+// Next implements Generator.
+func (it *phaseIter) Next() (Msg, bool) {
+	ph := it.phases[it.phase]
+	m := ph[it.idx]
+	newPhase := it.idx == 0
+	it.idx++
+	if it.idx == len(ph) {
+		it.idx = 0
+		it.phase = (it.phase + 1) % len(it.phases)
+	}
+	return m, newPhase
+}
+
+// singleRank returns the degenerate schedule for one-processor jobs,
+// which only talk to themselves.
+func singleRank() *phaseIter {
+	return &phaseIter{phases: [][]Msg{{{Src: 0, Dst: 0}}}}
+}
+
+// AllToAll is the all-to-all pattern: each processor sends one message to
+// every other processor of the job. One round is a single phase of
+// p*(p-1) logically concurrent messages.
+type AllToAll struct{}
+
+// Name implements Pattern.
+func (AllToAll) Name() string { return "alltoall" }
+
+// Generator implements Pattern.
+func (AllToAll) Generator(p int, _ *stats.RNG) Generator {
+	checkSize(p)
+	if p == 1 {
+		return singleRank()
+	}
+	msgs := make([]Msg, 0, p*(p-1))
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				msgs = append(msgs, Msg{Src: i, Dst: j})
+			}
+		}
+	}
+	return &phaseIter{phases: [][]Msg{msgs}}
+}
+
+// NBody is the paper's n-body force-computation pattern. The processors
+// form a virtual ring; one round consists of floor(p/2) ring subphases in
+// which every processor sends to its successor, followed by one chordal
+// subphase in which every processor sends halfway across the ring to
+// return accumulated forces to the owning processor.
+type NBody struct{}
+
+// Name implements Pattern.
+func (NBody) Name() string { return "nbody" }
+
+// Generator implements Pattern.
+func (NBody) Generator(p int, _ *stats.RNG) Generator {
+	checkSize(p)
+	if p == 1 {
+		return singleRank()
+	}
+	var phases [][]Msg
+	ringPhase := make([]Msg, p)
+	for i := 0; i < p; i++ {
+		ringPhase[i] = Msg{Src: i, Dst: (i + 1) % p}
+	}
+	for s := 0; s < p/2; s++ {
+		phases = append(phases, ringPhase)
+	}
+	chordal := make([]Msg, p)
+	for i := 0; i < p; i++ {
+		chordal[i] = Msg{Src: i, Dst: (i + p/2) % p}
+	}
+	phases = append(phases, chordal)
+	return &phaseIter{phases: phases}
+}
+
+// Ring is the plain ring-shift pattern from the CPlant test suite: each
+// processor sends to its successor, one phase per round.
+type Ring struct{}
+
+// Name implements Pattern.
+func (Ring) Name() string { return "ring" }
+
+// Generator implements Pattern.
+func (Ring) Generator(p int, _ *stats.RNG) Generator {
+	checkSize(p)
+	if p == 1 {
+		return singleRank()
+	}
+	msgs := make([]Msg, p)
+	for i := 0; i < p; i++ {
+		msgs[i] = Msg{Src: i, Dst: (i + 1) % p}
+	}
+	return &phaseIter{phases: [][]Msg{msgs}}
+}
+
+// PingPong is the all-pairs ping-pong pattern from the CPlant test suite:
+// for every unordered pair, a message in each direction, each exchange
+// its own phase.
+type PingPong struct{}
+
+// Name implements Pattern.
+func (PingPong) Name() string { return "pingpong" }
+
+// Generator implements Pattern.
+func (PingPong) Generator(p int, _ *stats.RNG) Generator {
+	checkSize(p)
+	if p == 1 {
+		return singleRank()
+	}
+	var phases [][]Msg
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			phases = append(phases, []Msg{{Src: i, Dst: j}, {Src: j, Dst: i}})
+		}
+	}
+	return &phaseIter{phases: phases}
+}
+
+// Random sends each message between a uniformly random ordered pair of
+// distinct ranks. Messages are grouped into phases of p so that, like the
+// structured patterns, roughly every processor is active per subphase.
+type Random struct{}
+
+// Name implements Pattern.
+func (Random) Name() string { return "random" }
+
+// Generator implements Pattern.
+func (Random) Generator(p int, rng *stats.RNG) Generator {
+	checkSize(p)
+	if p == 1 {
+		return singleRank()
+	}
+	return &randomIter{p: p, rng: rng}
+}
+
+type randomIter struct {
+	p     int
+	rng   *stats.RNG
+	count int
+}
+
+// Next implements Generator.
+func (it *randomIter) Next() (Msg, bool) {
+	src := it.rng.Intn(it.p)
+	dst := it.rng.Intn(it.p - 1)
+	if dst >= src {
+		dst++
+	}
+	newPhase := it.count%it.p == 0
+	it.count++
+	return Msg{Src: src, Dst: dst}, newPhase
+}
+
+// TestSuite is the communication test of Leung et al. behind the paper's
+// Figure 1: one round of all-to-all broadcast, one round of all-pairs
+// ping-pong, and one ring shift, repeated (in the CPlant experiments, one
+// hundred times).
+type TestSuite struct{}
+
+// Name implements Pattern.
+func (TestSuite) Name() string { return "testsuite" }
+
+// Generator implements Pattern.
+func (TestSuite) Generator(p int, rng *stats.RNG) Generator {
+	checkSize(p)
+	if p == 1 {
+		return singleRank()
+	}
+	var phases [][]Msg
+	// All-to-all broadcast: one phase.
+	broadcast := make([]Msg, 0, p*(p-1))
+	for i := 0; i < p; i++ {
+		for j := 0; j < p; j++ {
+			if i != j {
+				broadcast = append(broadcast, Msg{Src: i, Dst: j})
+			}
+		}
+	}
+	phases = append(phases, broadcast)
+	// All-pairs ping-pong: one exchange per phase.
+	for i := 0; i < p; i++ {
+		for j := i + 1; j < p; j++ {
+			phases = append(phases, []Msg{{Src: i, Dst: j}, {Src: j, Dst: i}})
+		}
+	}
+	// Ring shift: one phase.
+	ringPhase := make([]Msg, p)
+	for i := 0; i < p; i++ {
+		ringPhase[i] = Msg{Src: i, Dst: (i + 1) % p}
+	}
+	phases = append(phases, ringPhase)
+	return &phaseIter{phases: phases}
+}
+
+// Mixed draws a pattern per job: all-to-all, n-body, random or ring with
+// equal probability. The paper's experiments give every job the same
+// pattern to maximize the pattern/allocator interaction and notes that
+// this is "not realistic"; Mixed is the realistic-workload extension its
+// Discussion section suggests evaluating.
+type Mixed struct{}
+
+// Name implements Pattern.
+func (Mixed) Name() string { return "mixed" }
+
+// Generator implements Pattern.
+func (Mixed) Generator(p int, rng *stats.RNG) Generator {
+	checkSize(p)
+	pool := []Pattern{AllToAll{}, NBody{}, Random{}, Ring{}}
+	return pool[rng.Intn(len(pool))].Generator(p, rng)
+}
+
+// RoundLen returns the number of messages in one full round of pattern
+// pat for a job of p processors, used to size message quotas in tests and
+// examples. Random reports its phase length p.
+func RoundLen(pat Pattern, p int) int {
+	if p == 1 {
+		return 1
+	}
+	switch pat.(type) {
+	case Random, Mixed:
+		return p
+	case AllToAll:
+		return p * (p - 1)
+	case NBody:
+		return p*(p/2) + p
+	case Ring:
+		return p
+	case PingPong:
+		return p * (p - 1)
+	case TestSuite:
+		return 2*p*(p-1) + p
+	}
+	panic(fmt.Sprintf("comm: RoundLen of unknown pattern %T", pat))
+}
+
+func checkSize(p int) {
+	if p <= 0 {
+		panic(fmt.Sprintf("comm: invalid job size %d", p))
+	}
+}

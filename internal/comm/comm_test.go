@@ -1,0 +1,275 @@
+package comm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"meshalloc/internal/stats"
+)
+
+// drain pulls n messages from a generator.
+func drain(g Generator, n int) []Msg {
+	msgs := make([]Msg, n)
+	for i := range msgs {
+		msgs[i], _ = g.Next()
+	}
+	return msgs
+}
+
+func TestByNameCoversAll(t *testing.T) {
+	for _, name := range All() {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Errorf("pattern %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := ByName("butterfly"); err == nil {
+		t.Error("unknown pattern should fail")
+	}
+}
+
+func TestMessagesStayInRange(t *testing.T) {
+	rng := stats.NewRNG(7)
+	for _, name := range All() {
+		pat, _ := ByName(name)
+		for _, p := range []int{1, 2, 3, 5, 8, 15} {
+			g := pat.Generator(p, rng)
+			for _, m := range drain(g, 3*RoundLen(pat, p)) {
+				if m.Src < 0 || m.Src >= p || m.Dst < 0 || m.Dst >= p {
+					t.Fatalf("%s p=%d: message %v out of range", name, p, m)
+				}
+				if p > 1 && m.Src == m.Dst {
+					t.Fatalf("%s p=%d: self message %v", name, p, m)
+				}
+			}
+		}
+	}
+}
+
+func TestGeneratorPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("p=0 should panic")
+		}
+	}()
+	AllToAll{}.Generator(0, nil)
+}
+
+func TestAllToAllCoversAllPairs(t *testing.T) {
+	p := 6
+	g := AllToAll{}.Generator(p, nil)
+	seen := map[Msg]int{}
+	for _, m := range drain(g, p*(p-1)) {
+		seen[m]++
+	}
+	if len(seen) != p*(p-1) {
+		t.Fatalf("one round covers %d ordered pairs, want %d", len(seen), p*(p-1))
+	}
+	for m, c := range seen {
+		if c != 1 {
+			t.Fatalf("pair %v sent %d times in one round", m, c)
+		}
+	}
+}
+
+func TestAllToAllIsOnePhasePerRound(t *testing.T) {
+	p := 4
+	g := AllToAll{}.Generator(p, nil)
+	newPhases := 0
+	for i := 0; i < 2*p*(p-1); i++ {
+		_, np := g.Next()
+		if np {
+			newPhases++
+		}
+	}
+	if newPhases != 2 {
+		t.Fatalf("two all-to-all rounds have %d phases, want 2", newPhases)
+	}
+}
+
+func TestNBodyStructure(t *testing.T) {
+	// For p=15 (the paper's Figure 5): 7 ring subphases of 15 messages,
+	// then one chordal subphase of 15 messages.
+	p := 15
+	g := NBody{}.Generator(p, nil)
+	round := RoundLen(NBody{}, p)
+	if round != 15*7+15 {
+		t.Fatalf("round length = %d", round)
+	}
+	msgs := drain(g, round)
+	// Ring subphases: dst = src+1 mod p.
+	for i := 0; i < 15*7; i++ {
+		if msgs[i].Dst != (msgs[i].Src+1)%p {
+			t.Fatalf("ring message %d is %v", i, msgs[i])
+		}
+	}
+	// Chordal subphase: dst = src + 7 mod p.
+	for i := 15 * 7; i < round; i++ {
+		if msgs[i].Dst != (msgs[i].Src+7)%p {
+			t.Fatalf("chordal message %d is %v", i, msgs[i])
+		}
+	}
+}
+
+func TestNBodyPhaseCount(t *testing.T) {
+	p := 8
+	g := NBody{}.Generator(p, nil)
+	phases := 0
+	for i := 0; i < RoundLen(NBody{}, p); i++ {
+		if _, np := g.Next(); np {
+			phases++
+		}
+	}
+	if phases != p/2+1 {
+		t.Fatalf("n-body round has %d phases, want %d", phases, p/2+1)
+	}
+}
+
+func TestNBodyEvenOddRing(t *testing.T) {
+	// Every rank sends in every ring subphase, covering the whole ring.
+	for _, p := range []int{2, 3, 4, 7} {
+		g := NBody{}.Generator(p, nil)
+		srcs := map[int]bool{}
+		for i := 0; i < p; i++ {
+			m, _ := g.Next()
+			srcs[m.Src] = true
+		}
+		if len(srcs) != p {
+			t.Fatalf("p=%d: first subphase has %d distinct senders", p, len(srcs))
+		}
+	}
+}
+
+func TestRingPattern(t *testing.T) {
+	p := 5
+	g := Ring{}.Generator(p, nil)
+	for i := 0; i < p; i++ {
+		m, _ := g.Next()
+		if m.Dst != (m.Src+1)%p {
+			t.Fatalf("ring message %v", m)
+		}
+	}
+}
+
+func TestPingPongAlternates(t *testing.T) {
+	p := 4
+	g := PingPong{}.Generator(p, nil)
+	for i := 0; i < RoundLen(PingPong{}, p)/2; i++ {
+		a, _ := g.Next()
+		b, _ := g.Next()
+		if a.Src != b.Dst || a.Dst != b.Src {
+			t.Fatalf("exchange %d: %v then %v", i, a, b)
+		}
+	}
+}
+
+func TestRandomUniformish(t *testing.T) {
+	p := 8
+	rng := stats.NewRNG(123)
+	g := Random{}.Generator(p, rng)
+	counts := map[Msg]int{}
+	n := 56 * 500
+	for i := 0; i < n; i++ {
+		m, _ := g.Next()
+		counts[m]++
+	}
+	if len(counts) != p*(p-1) {
+		t.Fatalf("random pattern hit %d pairs, want %d", len(counts), p*(p-1))
+	}
+	for m, c := range counts {
+		if c < 300 || c > 700 {
+			t.Fatalf("pair %v count %d deviates far from uniform 500", m, c)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	g1 := Random{}.Generator(6, stats.NewRNG(9))
+	g2 := Random{}.Generator(6, stats.NewRNG(9))
+	for i := 0; i < 100; i++ {
+		a, _ := g1.Next()
+		b, _ := g2.Next()
+		if a != b {
+			t.Fatal("same-seed random generators diverge")
+		}
+	}
+}
+
+func TestTestSuiteComposition(t *testing.T) {
+	p := 4
+	g := TestSuite{}.Generator(p, nil)
+	round := RoundLen(TestSuite{}, p)
+	if round != 2*p*(p-1)+p {
+		t.Fatalf("testsuite round length = %d", round)
+	}
+	msgs := drain(g, round)
+	// First p(p-1) messages: the broadcast.
+	bc := map[Msg]bool{}
+	for _, m := range msgs[:p*(p-1)] {
+		bc[m] = true
+	}
+	if len(bc) != p*(p-1) {
+		t.Fatal("broadcast section incomplete")
+	}
+	// Last p messages: the ring.
+	for _, m := range msgs[round-p:] {
+		if m.Dst != (m.Src+1)%p {
+			t.Fatalf("ring section message %v", m)
+		}
+	}
+}
+
+func TestSingleProcessorJobsSelfMessage(t *testing.T) {
+	rng := stats.NewRNG(3)
+	for _, name := range All() {
+		pat, _ := ByName(name)
+		g := pat.Generator(1, rng)
+		m, _ := g.Next()
+		if m.Src != 0 || m.Dst != 0 {
+			t.Fatalf("%s p=1: message %v, want self", name, m)
+		}
+	}
+}
+
+func TestRoundsRepeatIdentically(t *testing.T) {
+	// Deterministic patterns repeat the same round forever.
+	for _, name := range []string{"alltoall", "nbody", "ring", "pingpong", "testsuite"} {
+		pat, _ := ByName(name)
+		p := 6
+		round := RoundLen(pat, p)
+		g := pat.Generator(p, nil)
+		first := drain(g, round)
+		second := drain(g, round)
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("%s: round 2 message %d = %v, want %v", name, i, second[i], first[i])
+			}
+		}
+	}
+}
+
+func TestPatternProperty(t *testing.T) {
+	// Property: for any size and any prefix length, messages are valid
+	// ranks and never self (p > 1).
+	rng := stats.NewRNG(11)
+	f := func(pRaw, nRaw uint8, which uint8) bool {
+		names := All()
+		pat, _ := ByName(names[int(which)%len(names)])
+		p := int(pRaw)%20 + 2
+		n := int(nRaw) + 1
+		g := pat.Generator(p, rng)
+		for i := 0; i < n; i++ {
+			m, _ := g.Next()
+			if m.Src < 0 || m.Src >= p || m.Dst < 0 || m.Dst >= p || m.Src == m.Dst {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

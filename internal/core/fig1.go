@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"meshalloc/internal/comm"
+	"meshalloc/internal/curve"
+	"meshalloc/internal/mesh"
+	"meshalloc/internal/netsim"
+	"meshalloc/internal/stats"
+)
+
+// Fig1 reproduces Figure 1: the CPlant experiment of Leung et al. that
+// motivated the paper. Thirty-processor jobs run the communication test
+// suite (all-to-all broadcast, all-pairs ping-pong, ring — one hundred
+// rounds) on allocations of varying dispersal; running time is plotted
+// against the allocation's average pairwise hop count.
+//
+// The paper's version ran on CPlant hardware; here each allocation runs
+// alone on a simulated 16x22 mesh, which reproduces the correlation the
+// figure exists to show (self-contention grows with dispersal).
+func Fig1(o Options) (*Figure, error) {
+	o = o.withDefaults()
+	const (
+		jobSize = 30
+		rounds  = 100
+	)
+	m := mesh.New(16, 22)
+	rng := stats.NewRNG(o.Seed)
+
+	// Sample allocations across the dispersal spectrum: the 30 nodes are
+	// drawn from windows of the Hilbert order whose span grows from
+	// perfectly compact (30) to the whole machine, then shuffled windows
+	// for the high-dispersal tail.
+	order := curve.Hilbert{}.Order(16, 22)
+	allocations := make([][]int, 0, 40)
+	for span := jobSize; span <= len(order); span += (len(order) - jobSize) / 12 {
+		for trial := 0; trial < 3; trial++ {
+			start := 0
+			if len(order) > span {
+				start = rng.Intn(len(order) - span)
+			}
+			window := order[start : start+span]
+			pick := rng.Perm(len(window))[:jobSize]
+			nodes := make([]int, jobSize)
+			for i, w := range pick {
+				nodes[i] = window[w]
+			}
+			allocations = append(allocations, nodes)
+		}
+	}
+
+	s := Series{Label: "running time vs avg pairwise hops (30-proc test-suite job)"}
+	var xs, ys []float64
+	for _, nodes := range allocations {
+		dur := runIsolatedJob(m, nodes, comm.TestSuite{}, rounds, o.Seed)
+		x := m.AvgPairwiseDist(nodes)
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, dur)
+		xs = append(xs, x)
+		ys = append(ys, dur)
+	}
+	fig := &Figure{
+		ID:     "fig1",
+		Title:  "Pairwise distance vs running time for the CPlant communication test suite",
+		Series: []Series{s},
+	}
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("allocations: %d; Pearson r = %.3f (paper shows a clear positive trend)",
+			len(allocations), stats.Pearson(xs, ys)))
+	return fig, nil
+}
+
+// runIsolatedJob runs one job's communication to completion on an
+// otherwise idle machine and returns the elapsed simulated time.
+func runIsolatedJob(m *mesh.Mesh, nodes []int, pat comm.Pattern, rounds int, seed int64) float64 {
+	net := netsim.New(m, netsim.DefaultConfig())
+	gen := pat.Generator(len(nodes), stats.NewRNG(seed))
+	quota := rounds * comm.RoundLen(pat, len(nodes))
+
+	now := 0.0
+	var pending *comm.Msg
+	for sent := 0; sent < quota; {
+		// Issue one phase as a concurrent burst, barrier to the next.
+		maxArr := now
+		for sent < quota {
+			var msg comm.Msg
+			if pending != nil {
+				msg, pending = *pending, nil
+			} else {
+				var newPhase bool
+				msg, newPhase = gen.Next()
+				if newPhase && maxArr > now {
+					pending = &msg
+					break
+				}
+			}
+			r := net.Send(nodes[msg.Src], nodes[msg.Dst], now)
+			if r.Arrival > maxArr {
+				maxArr = r.Arrival
+			}
+			sent++
+		}
+		now = maxArr
+	}
+	return now
+}

@@ -1,0 +1,388 @@
+// Package cube extends the paper's one-dimensional-reduction idea to
+// three-dimensional meshes — the topology of CPlant itself (the paper
+// projects it to 2-D) and the subject of its Alber–Niedermeier reference
+// on multidimensional Hilbert indexings.
+//
+// The package is a self-contained allocation-quality study: a 3-D mesh,
+// a 3-D Hilbert curve (the Butz construction specialized to three
+// dimensions via Gray-code reflection), a 3-D snake, and a
+// ring-growing MC1x1 analogue, with the average-pairwise-distance metric
+// used to compare them under synthetic machine occupancy. It deliberately
+// stops short of a full 3-D network simulation: the paper's network
+// conclusions are 2-D, and allocation quality is the transferable part.
+package cube
+
+import (
+	"fmt"
+
+	"meshalloc/internal/stats"
+)
+
+// Point3 is a node coordinate on a 3-D mesh.
+type Point3 struct {
+	X, Y, Z int
+}
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point3) Manhattan(q Point3) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y) + abs(p.Z-q.Z)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Mesh3 is a W x H x D 3-D mesh with dense node ids in x-fastest order.
+type Mesh3 struct {
+	w, h, d int
+}
+
+// New3 returns a 3-D mesh. It panics on non-positive dimensions.
+func New3(w, h, d int) *Mesh3 {
+	if w <= 0 || h <= 0 || d <= 0 {
+		panic(fmt.Sprintf("cube: invalid dimensions %dx%dx%d", w, h, d))
+	}
+	return &Mesh3{w: w, h: h, d: d}
+}
+
+// Size returns the processor count.
+func (m *Mesh3) Size() int { return m.w * m.h * m.d }
+
+// Dims returns the mesh extents.
+func (m *Mesh3) Dims() (w, h, d int) { return m.w, m.h, m.d }
+
+// ID maps a coordinate to its dense id.
+func (m *Mesh3) ID(p Point3) int {
+	if p.X < 0 || p.X >= m.w || p.Y < 0 || p.Y >= m.h || p.Z < 0 || p.Z >= m.d {
+		panic(fmt.Sprintf("cube: point %+v outside %dx%dx%d mesh", p, m.w, m.h, m.d))
+	}
+	return (p.Z*m.h+p.Y)*m.w + p.X
+}
+
+// Coord maps a dense id back to its coordinate.
+func (m *Mesh3) Coord(id int) Point3 {
+	if id < 0 || id >= m.Size() {
+		panic(fmt.Sprintf("cube: id %d out of range", id))
+	}
+	x := id % m.w
+	y := (id / m.w) % m.h
+	z := id / (m.w * m.h)
+	return Point3{X: x, Y: y, Z: z}
+}
+
+// Dist returns the hop distance between two nodes.
+func (m *Mesh3) Dist(a, b int) int { return m.Coord(a).Manhattan(m.Coord(b)) }
+
+// AvgPairwiseDist returns the mean pairwise hop distance of a node set.
+func (m *Mesh3) AvgPairwiseDist(ids []int) float64 {
+	if len(ids) < 2 {
+		return 0
+	}
+	total := 0
+	for i := range ids {
+		pi := m.Coord(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			total += pi.Manhattan(m.Coord(ids[j]))
+		}
+	}
+	return float64(total) / float64(len(ids)*(len(ids)-1)/2)
+}
+
+// Curve3 orders the nodes of a 3-D mesh.
+type Curve3 interface {
+	Name() string
+	// Order returns a permutation of the mesh's node ids.
+	Order(m *Mesh3) []int
+}
+
+// Snake3 is the 3-D boustrophedon: x runs alternate within y layers,
+// y runs alternate within z slabs.
+type Snake3 struct{}
+
+// Name implements Curve3.
+func (Snake3) Name() string { return "snake3" }
+
+// Order implements Curve3.
+func (Snake3) Order(m *Mesh3) []int {
+	order := make([]int, 0, m.Size())
+	for z := 0; z < m.d; z++ {
+		ys := ascending(m.h)
+		if z%2 == 1 {
+			ys = descending(m.h)
+		}
+		for yi, y := range ys {
+			xs := ascending(m.w)
+			if (yi+z*m.h)%2 == 1 {
+				xs = descending(m.w)
+			}
+			for _, x := range xs {
+				order = append(order, m.ID(Point3{X: x, Y: y, Z: z}))
+			}
+		}
+	}
+	return order
+}
+
+func ascending(n int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = i
+	}
+	return v
+}
+
+func descending(n int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = n - 1 - i
+	}
+	return v
+}
+
+// Hilbert3 is the 3-D Hilbert curve built from the Butz/Gray-code
+// construction and truncated from the enclosing power-of-two cube, like
+// the 2-D curves of the paper's Figure 6.
+type Hilbert3 struct{}
+
+// Name implements Curve3.
+func (Hilbert3) Name() string { return "hilbert3" }
+
+// Order implements Curve3.
+func (Hilbert3) Order(m *Mesh3) []int {
+	n := 2
+	for n < m.w || n < m.h || n < m.d {
+		n *= 2
+	}
+	order := make([]int, 0, m.Size())
+	total := n * n * n
+	for dd := 0; dd < total; dd++ {
+		p := hilbert3D2XYZ(n, dd)
+		if p.X < m.w && p.Y < m.h && p.Z < m.d {
+			order = append(order, m.ID(p))
+		}
+	}
+	return order
+}
+
+// hilbert3D2XYZ converts a curve index to 3-D coordinates on an n^3 cube
+// (n a power of two) using Skilling's transpose algorithm ("Programming
+// the Hilbert curve", AIP 2004), the standard multidimensional Hilbert
+// construction the paper's Alber–Niedermeier reference generalizes.
+func hilbert3D2XYZ(n, d int) Point3 {
+	const dims = 3
+	b := 0
+	for 1<<uint(b) < n {
+		b++
+	}
+	// Untranspose the index: bit lvl of axis i comes from bit
+	// (dims*lvl + (dims-1-i)) of d, most-significant level first.
+	var x [dims]uint32
+	for lvl := 0; lvl < b; lvl++ {
+		for i := 0; i < dims; i++ {
+			if d>>(uint(dims*lvl+(dims-1-i)))&1 == 1 {
+				x[i] |= 1 << uint(lvl)
+			}
+		}
+	}
+	// Gray decode.
+	t := x[dims-1] >> 1
+	for i := dims - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint32(2); q != uint32(n); q <<= 1 {
+		p := q - 1
+		for i := dims - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert low bits of x[0]
+			} else {
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t // exchange low bits of x[0] and x[i]
+			}
+		}
+	}
+	return Point3{X: int(x[0]), Y: int(x[1]), Z: int(x[2])}
+}
+
+// RingAlloc is the 3-D MC1x1 analogue: it gathers the request size in
+// Manhattan shells around the best free center (smallest resulting total
+// pairwise distance approximated by shell cost).
+type RingAlloc struct {
+	m    *Mesh3
+	busy []bool
+}
+
+// NewRingAlloc returns a 3-D shell-growing allocator.
+func NewRingAlloc(m *Mesh3) *RingAlloc {
+	return &RingAlloc{m: m, busy: make([]bool, m.Size())}
+}
+
+// Allocate marks and returns size free processors clustered around the
+// lowest-cost free center.
+func (a *RingAlloc) Allocate(size int) ([]int, error) {
+	if size <= 0 || size > a.numFree() {
+		return nil, fmt.Errorf("cube: cannot allocate %d processors", size)
+	}
+	bestCost := -1
+	var best []int
+	for c := 0; c < a.m.Size(); c++ {
+		if a.busy[c] {
+			continue
+		}
+		ids, cost := a.gather(c, size)
+		if ids != nil && (bestCost == -1 || cost < bestCost) {
+			bestCost, best = cost, ids
+		}
+	}
+	for _, id := range best {
+		a.busy[id] = true
+	}
+	return best, nil
+}
+
+// Release frees previously allocated processors.
+func (a *RingAlloc) Release(ids []int) {
+	for _, id := range ids {
+		if !a.busy[id] {
+			panic(fmt.Sprintf("cube: release of free id %d", id))
+		}
+		a.busy[id] = false
+	}
+}
+
+func (a *RingAlloc) numFree() int {
+	n := 0
+	for _, b := range a.busy {
+		if !b {
+			n++
+		}
+	}
+	return n
+}
+
+// gather collects size free nodes in Manhattan shells around center.
+func (a *RingAlloc) gather(center, size int) ([]int, int) {
+	c := a.m.Coord(center)
+	ids := make([]int, 0, size)
+	cost := 0
+	maxR := a.m.w + a.m.h + a.m.d
+	for r := 0; r <= maxR && len(ids) < size; r++ {
+		for id := 0; id < a.m.Size(); id++ {
+			if a.busy[id] || a.m.Coord(id).Manhattan(c) != r {
+				continue
+			}
+			ids = append(ids, id)
+			cost += r
+			if len(ids) == size {
+				break
+			}
+		}
+	}
+	if len(ids) < size {
+		return nil, 0
+	}
+	return ids, cost
+}
+
+// PagedAlloc3 runs curve-order free-list allocation on a 3-D mesh: the
+// direct 3-D transplant of the paper's Paging with sorted free list.
+type PagedAlloc3 struct {
+	order []int
+	busy  []bool
+	name  string
+}
+
+// NewPagedAlloc3 returns a 3-D paging allocator over the curve ordering.
+func NewPagedAlloc3(m *Mesh3, c Curve3) *PagedAlloc3 {
+	return &PagedAlloc3{order: c.Order(m), busy: make([]bool, m.Size()), name: c.Name()}
+}
+
+// Name returns the underlying curve name.
+func (a *PagedAlloc3) Name() string { return a.name }
+
+// Allocate returns the first size free nodes along the curve.
+func (a *PagedAlloc3) Allocate(size int) ([]int, error) {
+	ids := make([]int, 0, size)
+	for _, id := range a.order {
+		if !a.busy[id] {
+			ids = append(ids, id)
+			if len(ids) == size {
+				break
+			}
+		}
+	}
+	if len(ids) < size {
+		return nil, fmt.Errorf("cube: cannot allocate %d processors", size)
+	}
+	for _, id := range ids {
+		a.busy[id] = true
+	}
+	return ids, nil
+}
+
+// Release frees previously allocated processors.
+func (a *PagedAlloc3) Release(ids []int) {
+	for _, id := range ids {
+		if !a.busy[id] {
+			panic(fmt.Sprintf("cube: release of free id %d", id))
+		}
+		a.busy[id] = false
+	}
+}
+
+// StudyResult reports the mean allocation quality of one strategy over a
+// synthetic occupancy workload.
+type StudyResult struct {
+	Name            string
+	MeanAvgPairwise float64
+	Allocations     int
+}
+
+// Study drives an allocate/release churn of jobs (uniform sizes in
+// [minSize, maxSize]) through each strategy on an otherwise identical
+// sequence and reports mean average pairwise distance — the 3-D version
+// of the paper's allocation-quality comparison.
+func Study(m *Mesh3, jobs, minSize, maxSize int, seed int64) []StudyResult {
+	type allocator interface {
+		Allocate(size int) ([]int, error)
+		Release(ids []int)
+	}
+	strategies := []struct {
+		name string
+		a    allocator
+	}{
+		{"hilbert3", NewPagedAlloc3(m, Hilbert3{})},
+		{"snake3", NewPagedAlloc3(m, Snake3{})},
+		{"ring3", NewRingAlloc(m)},
+	}
+	out := make([]StudyResult, len(strategies))
+	for i, s := range strategies {
+		rng := stats.NewRNG(seed) // identical sequence per strategy
+		var live [][]int
+		total, count := 0.0, 0
+		for j := 0; j < jobs; j++ {
+			// Churn: release one random live job half the time once
+			// the machine is half full.
+			if len(live) > 0 && rng.Float64() < 0.5 {
+				k := rng.Intn(len(live))
+				s.a.Release(live[k])
+				live = append(live[:k], live[k+1:]...)
+			}
+			size := minSize + rng.Intn(maxSize-minSize+1)
+			ids, err := s.a.Allocate(size)
+			if err != nil {
+				continue // machine full; skip, same for every strategy
+			}
+			live = append(live, ids)
+			total += m.AvgPairwiseDist(ids)
+			count++
+		}
+		out[i] = StudyResult{Name: s.name, MeanAvgPairwise: total / float64(count), Allocations: count}
+	}
+	return out
+}

@@ -1,0 +1,206 @@
+package cube
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMesh3IDCoordRoundTrip(t *testing.T) {
+	m := New3(4, 5, 3)
+	for id := 0; id < m.Size(); id++ {
+		if got := m.ID(m.Coord(id)); got != id {
+			t.Fatalf("ID(Coord(%d)) = %d", id, got)
+		}
+	}
+}
+
+func TestNew3Panics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New3(0,1,1) should panic")
+		}
+	}()
+	New3(0, 1, 1)
+}
+
+func TestManhattan3(t *testing.T) {
+	a := Point3{1, 2, 3}
+	b := Point3{4, 0, 5}
+	if d := a.Manhattan(b); d != 7 {
+		t.Fatalf("distance = %d, want 7", d)
+	}
+}
+
+func isPermutation3(t *testing.T, order []int, n int) {
+	t.Helper()
+	if len(order) != n {
+		t.Fatalf("order has %d entries, want %d", len(order), n)
+	}
+	seen := make([]bool, n)
+	for _, id := range order {
+		if id < 0 || id >= n || seen[id] {
+			t.Fatalf("order not a permutation at id %d", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSnake3IsHamiltonianPath(t *testing.T) {
+	for _, dims := range [][3]int{{2, 2, 2}, {4, 4, 4}, {3, 5, 2}, {4, 3, 6}} {
+		m := New3(dims[0], dims[1], dims[2])
+		order := Snake3{}.Order(m)
+		isPermutation3(t, order, m.Size())
+		for i := 1; i < len(order); i++ {
+			if m.Dist(order[i-1], order[i]) != 1 {
+				t.Fatalf("%v snake3: non-adjacent step at %d (%+v -> %+v)",
+					dims, i, m.Coord(order[i-1]), m.Coord(order[i]))
+			}
+		}
+	}
+}
+
+func TestHilbert3CubeIsHamiltonianPath(t *testing.T) {
+	for _, n := range []int{2, 4, 8, 16} {
+		m := New3(n, n, n)
+		order := Hilbert3{}.Order(m)
+		isPermutation3(t, order, m.Size())
+		for i := 1; i < len(order); i++ {
+			if m.Dist(order[i-1], order[i]) != 1 {
+				t.Fatalf("%d^3 hilbert3: non-adjacent step at %d (%+v -> %+v)",
+					n, i, m.Coord(order[i-1]), m.Coord(order[i]))
+			}
+		}
+	}
+}
+
+func TestHilbert3TruncatedIsPermutation(t *testing.T) {
+	m := New3(3, 5, 4)
+	order := Hilbert3{}.Order(m)
+	isPermutation3(t, order, m.Size())
+}
+
+func TestHilbert3ClustersBetterThanSnake(t *testing.T) {
+	// Windows of consecutive curve ranks should be more compact under
+	// the 3-D Hilbert curve than under the 3-D snake.
+	m := New3(8, 8, 8)
+	window := 16
+	spread := func(order []int) float64 {
+		total, count := 0.0, 0
+		for s := 0; s+window <= len(order); s += window {
+			total += m.AvgPairwiseDist(order[s : s+window])
+			count++
+		}
+		return total / float64(count)
+	}
+	h := spread(Hilbert3{}.Order(m))
+	s := spread(Snake3{}.Order(m))
+	if h >= s {
+		t.Fatalf("hilbert3 window spread %.2f should beat snake3 %.2f", h, s)
+	}
+}
+
+func TestRingAllocCompactOnEmptyMesh(t *testing.T) {
+	m := New3(6, 6, 6)
+	a := NewRingAlloc(m)
+	ids, err := a.Allocate(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center plus 6 face neighbours: mean pairwise distance under 2.
+	if d := m.AvgPairwiseDist(ids); d > 2 {
+		t.Fatalf("ring allocation too dispersed: %g", d)
+	}
+	a.Release(ids)
+	if a.numFree() != m.Size() {
+		t.Fatal("release did not restore free count")
+	}
+}
+
+func TestRingAllocErrors(t *testing.T) {
+	m := New3(2, 2, 2)
+	a := NewRingAlloc(m)
+	if _, err := a.Allocate(0); err == nil {
+		t.Fatal("size 0 should fail")
+	}
+	if _, err := a.Allocate(9); err == nil {
+		t.Fatal("oversize should fail")
+	}
+}
+
+func TestPagedAlloc3FreeListOrder(t *testing.T) {
+	m := New3(4, 4, 4)
+	a := NewPagedAlloc3(m, Hilbert3{})
+	ids, err := a.Allocate(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Hilbert3{}.Order(m)[:8]
+	for i := range want {
+		if ids[i] != want[i] {
+			t.Fatalf("free list prefix mismatch: %v vs %v", ids, want)
+		}
+	}
+	// A Hilbert prefix of 8 on a power-of-two cube is one octant.
+	if d := m.AvgPairwiseDist(ids); d > 2 {
+		t.Fatalf("hilbert3 prefix dispersed: %g", d)
+	}
+}
+
+func TestAllocatorsNeverDoubleAllocate(t *testing.T) {
+	m := New3(4, 4, 4)
+	f := func(sizes []uint8) bool {
+		a := NewPagedAlloc3(m, Snake3{})
+		busy := map[int]bool{}
+		var live [][]int
+		for _, s := range sizes {
+			size := int(s)%8 + 1
+			ids, err := a.Allocate(size)
+			if err != nil {
+				if len(live) == 0 {
+					continue
+				}
+				a.Release(live[0])
+				for _, id := range live[0] {
+					delete(busy, id)
+				}
+				live = live[1:]
+				continue
+			}
+			for _, id := range ids {
+				if busy[id] {
+					return false
+				}
+				busy[id] = true
+			}
+			live = append(live, ids)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStudyRanksCurves(t *testing.T) {
+	// On an 8x8x8 machine under churn, the locality-aware strategies
+	// (hilbert3 free list and ring growing) must allocate more compactly
+	// than the 3-D snake, echoing the paper's 2-D conclusion that the
+	// choice of curve dominates.
+	m := New3(8, 8, 8)
+	results := Study(m, 120, 4, 32, 1)
+	byName := map[string]StudyResult{}
+	for _, r := range results {
+		if r.Allocations == 0 {
+			t.Fatalf("%s made no allocations", r.Name)
+		}
+		byName[r.Name] = r
+	}
+	if byName["hilbert3"].MeanAvgPairwise >= byName["snake3"].MeanAvgPairwise {
+		t.Errorf("hilbert3 (%.2f) should beat snake3 (%.2f)",
+			byName["hilbert3"].MeanAvgPairwise, byName["snake3"].MeanAvgPairwise)
+	}
+	if byName["ring3"].MeanAvgPairwise >= byName["snake3"].MeanAvgPairwise {
+		t.Errorf("ring3 (%.2f) should beat snake3 (%.2f)",
+			byName["ring3"].MeanAvgPairwise, byName["snake3"].MeanAvgPairwise)
+	}
+}

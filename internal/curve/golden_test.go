@@ -1,0 +1,70 @@
+package curve
+
+import (
+	"strings"
+	"testing"
+)
+
+// Golden orderings pin down the exact curve constructions so silent
+// changes to the recursions are caught. The 4x4 grids below are rank
+// grids: the number at each cell is the cell's position along the curve.
+
+func golden(t *testing.T, c Curve, w, h int, want string) {
+	t.Helper()
+	got := strings.TrimSpace(Render(c.Order(w, h), w, h))
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("%s %dx%d:\ngot:\n%s\nwant:\n%s", c.Name(), w, h, got, want)
+	}
+}
+
+func TestGoldenHilbert4x4(t *testing.T) {
+	golden(t, Hilbert{}, 4, 4, `
+ 0  1 14 15
+ 3  2 13 12
+ 4  7  8 11
+ 5  6  9 10`)
+}
+
+func TestGoldenSCurve4x4(t *testing.T) {
+	golden(t, SCurve{}, 4, 4, `
+ 0  1  2  3
+ 7  6  5  4
+ 8  9 10 11
+15 14 13 12`)
+}
+
+func TestGoldenHIndexing4x4(t *testing.T) {
+	// The triangle recursion of hindex.go: T(4) then its point
+	// reflection.
+	golden(t, HIndexing{}, 4, 4, `
+ 0  1  2  3
+15 14  5  4
+12 13  6  7
+11 10  9  8`)
+}
+
+func TestGoldenZOrder4x4(t *testing.T) {
+	golden(t, ZOrder{}, 4, 4, `
+ 0  1  4  5
+ 2  3  6  7
+ 8  9 12 13
+10 11 14 15`)
+}
+
+func TestGoldenRowMajor2x3(t *testing.T) {
+	golden(t, RowMajor{}, 2, 3, `
+0 1
+2 3
+4 5`)
+}
+
+func TestGoldenMoore4x4(t *testing.T) {
+	// Four rotated 2x2 Hilbert curves chained into a cycle: left column
+	// ascends, right column descends.
+	golden(t, Moore{}, 4, 4, `
+ 1  0 15 14
+ 2  3 12 13
+ 5  4 11 10
+ 6  7  8  9`)
+}

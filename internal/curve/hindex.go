@@ -1,0 +1,131 @@
+package curve
+
+import (
+	"fmt"
+	"sync"
+
+	"meshalloc/internal/mesh"
+)
+
+// HIndexing is the H-indexing of Niedermeier, Reinhardt and Sanders
+// ("Towards optimal locality in mesh-indexings", FCT 1997): a Hamiltonian
+// cycle of the 2^k x 2^k grid built from two congruent triangle indexings
+// that interlock along the main diagonal. Like Hilbert, it is truncated
+// from the enclosing power-of-two square for other mesh shapes.
+//
+// Construction used here: let T(n) be a Hamiltonian path over the
+// lower-right "half" of the n x n grid — the cells strictly below the main
+// diagonal plus the even-indexed diagonal cells — running from cell (0,0)
+// to cell (n-1, n-2). T satisfies the recursion
+//
+//	T(n) = T(n/2)                     in the lower-left quadrant
+//	     ⊕ S(n/2) shifted by (n/2,0)  over the full lower-right quadrant
+//	     ⊕ T(n/2) shifted by (n/2,n/2)
+//
+// where S(q) is the Hamiltonian path over the full q x q square from local
+// cell (0, q-2) to (0, q-1), obtained by cutting the Hamiltonian cycle
+// C(q) = T(q) followed by the point-reflection of T(q) at the edge
+// {(0,q-2), (0,q-1)}. The full H-indexing of the square is the closed
+// cycle C(n). Consecutive cells are always grid-adjacent, and the last
+// cell is adjacent to the first — the defining property that distinguishes
+// H-indexing (a cycle) from the Hilbert curve (an open path).
+type HIndexing struct{}
+
+// Name implements Curve.
+func (HIndexing) Name() string { return "hindex" }
+
+// Order implements Curve.
+func (HIndexing) Order(w, h int) []int {
+	n := nextPow2(max(w, h))
+	return pointsToIDs(hCycle(n), w, h)
+}
+
+var (
+	hMu    sync.Mutex
+	hPaths = map[int][]mesh.Point{} // memoized canonical T(n)
+)
+
+// hCycle returns the Hamiltonian cycle C(n) over the n x n grid.
+func hCycle(n int) []mesh.Point {
+	t := hTriangle(n)
+	cyc := make([]mesh.Point, 0, n*n)
+	cyc = append(cyc, t...)
+	for _, p := range t {
+		cyc = append(cyc, mesh.Point{X: n - 1 - p.X, Y: n - 1 - p.Y})
+	}
+	return cyc
+}
+
+// hTriangle returns the canonical triangle path T(n) (memoized).
+func hTriangle(n int) []mesh.Point {
+	hMu.Lock()
+	defer hMu.Unlock()
+	return hTriangleLocked(n)
+}
+
+func hTriangleLocked(n int) []mesh.Point {
+	if t, ok := hPaths[n]; ok {
+		return t
+	}
+	var t []mesh.Point
+	if n == 2 {
+		t = []mesh.Point{{X: 0, Y: 0}, {X: 1, Y: 0}}
+	} else {
+		q := n / 2
+		sub := hTriangleLocked(q)
+		sq := hSquarePathLocked(q)
+		t = make([]mesh.Point, 0, n*n/2)
+		t = append(t, sub...)
+		for _, p := range sq {
+			t = append(t, mesh.Point{X: p.X + q, Y: p.Y})
+		}
+		for _, p := range sub {
+			t = append(t, mesh.Point{X: p.X + q, Y: p.Y + q})
+		}
+	}
+	hPaths[n] = t
+	return t
+}
+
+// hSquarePathLocked returns the Hamiltonian path over the q x q square
+// from (0, q-2) to (0, q-1): the cycle C(q) cut at that edge.
+func hSquarePathLocked(q int) []mesh.Point {
+	sub := hTriangleLocked(q)
+	cyc := make([]mesh.Point, 0, q*q)
+	cyc = append(cyc, sub...)
+	for _, p := range sub {
+		cyc = append(cyc, mesh.Point{X: q - 1 - p.X, Y: q - 1 - p.Y})
+	}
+	from := mesh.Point{X: 0, Y: q - 2}
+	to := mesh.Point{X: 0, Y: q - 1}
+	fi, ti := indexOf(cyc, from), indexOf(cyc, to)
+	if fi < 0 || ti < 0 {
+		panic(fmt.Sprintf("curve: H-indexing cycle of size %d missing cut cells", q))
+	}
+	m := len(cyc)
+	path := make([]mesh.Point, 0, m)
+	switch {
+	case (fi+1)%m == ti:
+		// to follows from: walk backwards from `from` around to `to`.
+		for k := 0; k < m; k++ {
+			path = append(path, cyc[((fi-k)%m+m)%m])
+		}
+	case (ti+1)%m == fi:
+		// from follows to: walk forwards from `from` around to `to`.
+		for k := 0; k < m; k++ {
+			path = append(path, cyc[(fi+k)%m])
+		}
+	default:
+		panic(fmt.Sprintf("curve: H-indexing cut cells not adjacent in cycle of size %d", q))
+	}
+	return path
+}
+
+func indexOf(pts []mesh.Point, p mesh.Point) int {
+	for i, q := range pts {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}

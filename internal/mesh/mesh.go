@@ -1,0 +1,407 @@
+// Package mesh models the 2-D mesh interconnect topology used by the
+// simulator: node coordinates, the Manhattan metric, x-y dimension-ordered
+// routing, directed links, submeshes, the "shells" used by the MC allocator,
+// and rectilinear connectivity (components) of processor sets.
+//
+// Nodes are identified by dense integer ids in row-major order:
+// id = y*Width + x with 0 <= x < Width and 0 <= y < Height.
+package mesh
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Point is a node coordinate on the mesh.
+type Point struct {
+	X, Y int
+}
+
+// Add returns the component-wise sum of p and q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Manhattan returns the L1 distance between p and q.
+func (p Point) Manhattan(q Point) int {
+	return abs(p.X-q.X) + abs(p.Y-q.Y)
+}
+
+// String implements fmt.Stringer.
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Mesh is a Width x Height 2-D mesh of processors, optionally with
+// torus wraparound links. The zero value is not usable; construct with
+// New or NewTorus.
+type Mesh struct {
+	width  int
+	height int
+	torus  bool
+}
+
+// New returns a mesh with the given dimensions. It panics if either
+// dimension is not positive; mesh sizes are static configuration, so a bad
+// size is a programming error rather than a runtime condition.
+func New(width, height int) *Mesh {
+	if width <= 0 || height <= 0 {
+		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", width, height))
+	}
+	return &Mesh{width: width, height: height}
+}
+
+// NewTorus returns a mesh whose rows and columns wrap around — the
+// topology of many production machines the paper's mesh results
+// generalize to. Distances and dimension-ordered routes take the shorter
+// way around each axis.
+func NewTorus(width, height int) *Mesh {
+	m := New(width, height)
+	m.torus = true
+	return m
+}
+
+// Torus reports whether the mesh has wraparound links.
+func (m *Mesh) Torus() bool { return m.torus }
+
+// Width returns the extent of the x dimension.
+func (m *Mesh) Width() int { return m.width }
+
+// Height returns the extent of the y dimension.
+func (m *Mesh) Height() int { return m.height }
+
+// Size returns the total number of processors.
+func (m *Mesh) Size() int { return m.width * m.height }
+
+// Contains reports whether p lies on the mesh.
+func (m *Mesh) Contains(p Point) bool {
+	return p.X >= 0 && p.X < m.width && p.Y >= 0 && p.Y < m.height
+}
+
+// ID maps a coordinate to its dense row-major id. It panics if p is off the
+// mesh.
+func (m *Mesh) ID(p Point) int {
+	if !m.Contains(p) {
+		panic(fmt.Sprintf("mesh: point %v outside %dx%d mesh", p, m.width, m.height))
+	}
+	return p.Y*m.width + p.X
+}
+
+// Coord maps a dense id back to its coordinate. It panics on out-of-range
+// ids.
+func (m *Mesh) Coord(id int) Point {
+	if id < 0 || id >= m.Size() {
+		panic(fmt.Sprintf("mesh: id %d outside %dx%d mesh", id, m.width, m.height))
+	}
+	return Point{X: id % m.width, Y: id / m.width}
+}
+
+// Dist returns the distance in hops between the nodes with ids a and b:
+// Manhattan on a plain mesh, wrapped per axis on a torus.
+func (m *Mesh) Dist(a, b int) int {
+	pa, pb := m.Coord(a), m.Coord(b)
+	return m.axisDist(pa.X, pb.X, m.width) + m.axisDist(pa.Y, pb.Y, m.height)
+}
+
+// axisDist returns the per-axis hop distance, wrapping on a torus.
+func (m *Mesh) axisDist(a, b, extent int) int {
+	d := abs(a - b)
+	if m.torus && extent-d < d {
+		d = extent - d
+	}
+	return d
+}
+
+// AvgPairwiseDist returns the mean hop distance over all unordered pairs
+// of the given node ids. It returns 0 for fewer than two nodes. This is
+// the dispersal metric of Mache and Lo that MC1x1 and Gen-Alg minimize.
+func (m *Mesh) AvgPairwiseDist(ids []int) float64 {
+	if len(ids) < 2 {
+		return 0
+	}
+	pairs := len(ids) * (len(ids) - 1) / 2
+	return float64(m.TotalPairwiseDist(ids)) / float64(pairs)
+}
+
+// TotalPairwiseDist returns the sum of hop distances over all unordered
+// pairs of the given node ids.
+func (m *Mesh) TotalPairwiseDist(ids []int) int {
+	total := 0
+	for i := 0; i < len(ids); i++ {
+		for j := i + 1; j < len(ids); j++ {
+			total += m.Dist(ids[i], ids[j])
+		}
+	}
+	return total
+}
+
+// Direction identifies one of the four mesh link directions.
+type Direction int
+
+// Link directions. XPos is toward increasing x, YNeg toward decreasing y,
+// and so on.
+const (
+	XPos Direction = iota
+	XNeg
+	YPos
+	YNeg
+)
+
+// String implements fmt.Stringer.
+func (d Direction) String() string {
+	switch d {
+	case XPos:
+		return "+x"
+	case XNeg:
+		return "-x"
+	case YPos:
+		return "+y"
+	case YNeg:
+		return "-y"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// Link is a directed channel from node From to an adjacent node. Two
+// adjacent nodes are joined by two links, one in each direction, as in a
+// full-duplex mesh.
+type Link struct {
+	From int
+	Dir  Direction
+}
+
+// NumLinks returns the number of distinct directed links on the mesh,
+// used to size dense link-state tables.
+func (m *Mesh) NumLinks() int {
+	// Every node nominally owns 4 outgoing links; edge nodes own fewer,
+	// but a dense 4-per-node table is simpler and the waste is tiny.
+	return m.Size() * 4
+}
+
+// LinkIndex returns a dense index for l suitable for flat link-state
+// arrays; the inverse of LinkAt.
+func (m *Mesh) LinkIndex(l Link) int {
+	return l.From*4 + int(l.Dir)
+}
+
+// LinkAt returns the link with the given dense index.
+func (m *Mesh) LinkAt(idx int) Link {
+	return Link{From: idx / 4, Dir: Direction(idx % 4)}
+}
+
+// step returns the coordinate delta for a direction.
+func step(d Direction) Point {
+	switch d {
+	case XPos:
+		return Point{1, 0}
+	case XNeg:
+		return Point{-1, 0}
+	case YPos:
+		return Point{0, 1}
+	default:
+		return Point{0, -1}
+	}
+}
+
+// Neighbor returns the node adjacent to id in direction d and true, or
+// (-1, false) when the link would leave a plain mesh. On a torus every
+// direction wraps, so the second result is always true.
+func (m *Mesh) Neighbor(id int, d Direction) (int, bool) {
+	p := m.Coord(id).Add(step(d))
+	if !m.Contains(p) {
+		if !m.torus {
+			return -1, false
+		}
+		p.X = (p.X + m.width) % m.width
+		p.Y = (p.Y + m.height) % m.height
+	}
+	return m.ID(p), true
+}
+
+// Route returns the x-y dimension-ordered route from src to dst as the
+// ordered sequence of directed links traversed: first all x hops, then all
+// y hops, exactly as Paragon-/CPlant-style mesh routers forward wormhole
+// packets. An empty slice means src == dst.
+func (m *Mesh) Route(src, dst int) []Link {
+	return m.routeDimOrdered(src, dst, true)
+}
+
+// RouteYX returns the y-x dimension-ordered route (all y hops first), the
+// alternative deterministic routing used for routing-sensitivity studies.
+func (m *Mesh) RouteYX(src, dst int) []Link {
+	return m.routeDimOrdered(src, dst, false)
+}
+
+func (m *Mesh) routeDimOrdered(src, dst int, xFirst bool) []Link {
+	s, d := m.Coord(src), m.Coord(dst)
+	links := make([]Link, 0, m.Dist(src, dst))
+	cur := s
+	// axisDir picks the traversal direction along one axis; on a torus
+	// it takes the shorter way around (positive on ties).
+	axisDir := func(from, to, extent int, pos, neg Direction) Direction {
+		if !m.torus {
+			if to > from {
+				return pos
+			}
+			return neg
+		}
+		forward := ((to - from) + extent) % extent
+		if forward <= extent-forward {
+			return pos
+		}
+		return neg
+	}
+	advance := func(dir Direction) {
+		links = append(links, Link{From: m.ID(cur), Dir: dir})
+		next, ok := m.Neighbor(m.ID(cur), dir)
+		if !ok {
+			panic(fmt.Sprintf("mesh: route left the mesh at %v going %v", cur, dir))
+		}
+		cur = m.Coord(next)
+	}
+	stepX := func() {
+		for cur.X != d.X {
+			advance(axisDir(cur.X, d.X, m.width, XPos, XNeg))
+		}
+	}
+	stepY := func() {
+		for cur.Y != d.Y {
+			advance(axisDir(cur.Y, d.Y, m.height, YPos, YNeg))
+		}
+	}
+	if xFirst {
+		stepX()
+		stepY()
+	} else {
+		stepY()
+		stepX()
+	}
+	return links
+}
+
+// RouteLen returns the number of links on the x-y route from src to dst,
+// which equals the Manhattan distance.
+func (m *Mesh) RouteLen(src, dst int) int { return m.Dist(src, dst) }
+
+// Submesh describes an axis-aligned rectangle of nodes.
+type Submesh struct {
+	Origin Point // lowest-coordinate corner
+	W, H   int   // extents; both positive
+}
+
+// Contains reports whether p lies in the submesh.
+func (s Submesh) Contains(p Point) bool {
+	return p.X >= s.Origin.X && p.X < s.Origin.X+s.W &&
+		p.Y >= s.Origin.Y && p.Y < s.Origin.Y+s.H
+}
+
+// Area returns the number of nodes covered by the submesh.
+func (s Submesh) Area() int { return s.W * s.H }
+
+// Nodes returns the ids of the submesh's nodes that lie on m, in row-major
+// order. Parts of the submesh hanging off the mesh are skipped, which is
+// how MC evaluates candidate allocations near mesh edges.
+func (m *Mesh) Nodes(s Submesh) []int {
+	ids := make([]int, 0, s.Area())
+	for y := s.Origin.Y; y < s.Origin.Y+s.H; y++ {
+		for x := s.Origin.X; x < s.Origin.X+s.W; x++ {
+			p := Point{x, y}
+			if m.Contains(p) {
+				ids = append(ids, m.ID(p))
+			}
+		}
+	}
+	return ids
+}
+
+// CenteredSubmesh returns the W x H submesh "centered" on c in the MC
+// sense: c is placed at the integer center cell (W/2, H/2 from the origin,
+// rounding down).
+func CenteredSubmesh(c Point, w, h int) Submesh {
+	return Submesh{Origin: Point{c.X - w/2, c.Y - h/2}, W: w, H: h}
+}
+
+// Shell returns the ids of the nodes on m in shell k around the W x H
+// submesh centered on c: shell 0 is the submesh itself, shell k>0 is the
+// border ring of the (W+2k) x (H+2k) submesh. This matches the growth rule
+// of Mache et al.'s MC allocator (Figure 4 of the paper).
+func (m *Mesh) Shell(c Point, w, h, k int) []int {
+	if k == 0 {
+		return m.Nodes(CenteredSubmesh(c, w, h))
+	}
+	outer := CenteredSubmesh(c, w+2*k, h+2*k)
+	inner := CenteredSubmesh(c, w+2*(k-1), h+2*(k-1))
+	ids := make([]int, 0, 2*(outer.W+outer.H))
+	for y := outer.Origin.Y; y < outer.Origin.Y+outer.H; y++ {
+		for x := outer.Origin.X; x < outer.Origin.X+outer.W; x++ {
+			p := Point{x, y}
+			if inner.Contains(p) || !m.Contains(p) {
+				continue
+			}
+			ids = append(ids, m.ID(p))
+		}
+	}
+	return ids
+}
+
+// MaxShells returns an upper bound on the number of shells needed to cover
+// the whole mesh from any center for a W x H base submesh.
+func (m *Mesh) MaxShells(w, h int) int {
+	// Growing by one node per side per shell, max(width, height) shells
+	// always suffice.
+	n := m.width
+	if m.height > n {
+		n = m.height
+	}
+	return n
+}
+
+// Components partitions the given node ids into rectilinearly-connected
+// components: two nodes are connected when they are mesh-adjacent and both
+// in the set. The paper calls a job "allocated contiguously" when this
+// yields a single component. The returned components are each sorted by id
+// and ordered by their smallest id.
+func (m *Mesh) Components(ids []int) [][]int {
+	if len(ids) == 0 {
+		return nil
+	}
+	in := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		in[id] = true
+	}
+	seen := make(map[int]bool, len(ids))
+	var comps [][]int
+	sorted := append([]int(nil), ids...)
+	sort.Ints(sorted)
+	for _, start := range sorted {
+		if seen[start] {
+			continue
+		}
+		// BFS flood fill over mesh adjacency restricted to the set.
+		comp := []int{start}
+		seen[start] = true
+		for qi := 0; qi < len(comp); qi++ {
+			u := comp[qi]
+			for d := XPos; d <= YNeg; d++ {
+				v, ok := m.Neighbor(u, d)
+				if ok && in[v] && !seen[v] {
+					seen[v] = true
+					comp = append(comp, v)
+				}
+			}
+		}
+		sort.Ints(comp)
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// Contiguous reports whether the node set forms a single rectilinear
+// component.
+func (m *Mesh) Contiguous(ids []int) bool {
+	return len(ids) == 0 || len(m.Components(ids)) == 1
+}

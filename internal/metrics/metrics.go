@@ -1,0 +1,171 @@
+// Package metrics implements the dispersal metrics of Mache and Lo for
+// judging the quality of a processor allocation, beyond the average
+// pairwise distance the paper's MC1x1 and Gen-Alg optimize. Section 4.3
+// of the paper evaluates how such metrics correlate with running time;
+// this package provides the full family for that kind of study.
+package metrics
+
+import (
+	"math"
+
+	"meshalloc/internal/mesh"
+)
+
+// Dispersal characterizes the geometric quality of one allocation.
+type Dispersal struct {
+	// AvgPairwise is the mean Manhattan distance over processor pairs,
+	// the metric of Mache and Lo used throughout the paper.
+	AvgPairwise float64
+	// MaxPairwise is the allocation's diameter in hops.
+	MaxPairwise int
+	// AvgToCentroid is the mean Manhattan distance to the allocation's
+	// centroid, a cheaper compactness proxy.
+	AvgToCentroid float64
+	// BoundingBoxFill is size / (bounding box area): 1.0 for perfect
+	// rectangles, small for scattered allocations.
+	BoundingBoxFill float64
+	// Perimeter counts boundary edges: mesh-adjacent (processor,
+	// non-processor-or-edge) pairs. Compact shapes minimize it.
+	Perimeter int
+	// Components is the number of rectilinearly-connected components;
+	// Contiguous mirrors the paper's Figure 11 definition.
+	Components int
+	Contiguous bool
+}
+
+// Measure computes all dispersal metrics for the allocation ids on m.
+// An empty allocation yields the zero Dispersal.
+func Measure(m *mesh.Mesh, ids []int) Dispersal {
+	if len(ids) == 0 {
+		return Dispersal{}
+	}
+	var d Dispersal
+	d.AvgPairwise = m.AvgPairwiseDist(ids)
+	d.MaxPairwise = maxPairwise(m, ids)
+	d.AvgToCentroid = avgToCentroid(m, ids)
+	d.BoundingBoxFill = boundingBoxFill(m, ids)
+	d.Perimeter = perimeter(m, ids)
+	comps := m.Components(ids)
+	d.Components = len(comps)
+	d.Contiguous = len(comps) == 1
+	return d
+}
+
+func maxPairwise(m *mesh.Mesh, ids []int) int {
+	max := 0
+	for i := 0; i < len(ids); i++ {
+		pi := m.Coord(ids[i])
+		for j := i + 1; j < len(ids); j++ {
+			if d := pi.Manhattan(m.Coord(ids[j])); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}
+
+func avgToCentroid(m *mesh.Mesh, ids []int) float64 {
+	var cx, cy float64
+	for _, id := range ids {
+		p := m.Coord(id)
+		cx += float64(p.X)
+		cy += float64(p.Y)
+	}
+	cx /= float64(len(ids))
+	cy /= float64(len(ids))
+	total := 0.0
+	for _, id := range ids {
+		p := m.Coord(id)
+		total += math.Abs(float64(p.X)-cx) + math.Abs(float64(p.Y)-cy)
+	}
+	return total / float64(len(ids))
+}
+
+func boundingBoxFill(m *mesh.Mesh, ids []int) float64 {
+	minX, minY := m.Width(), m.Height()
+	maxX, maxY := 0, 0
+	for _, id := range ids {
+		p := m.Coord(id)
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	area := (maxX - minX + 1) * (maxY - minY + 1)
+	return float64(len(ids)) / float64(area)
+}
+
+func perimeter(m *mesh.Mesh, ids []int) int {
+	in := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		in[id] = true
+	}
+	edges := 0
+	for _, id := range ids {
+		for d := mesh.XPos; d <= mesh.YNeg; d++ {
+			nb, ok := m.Neighbor(id, d)
+			if !ok || !in[nb] {
+				edges++
+			}
+		}
+	}
+	return edges
+}
+
+// Summary aggregates dispersal metrics over many allocations (e.g. all
+// jobs of a run).
+type Summary struct {
+	N                  int
+	MeanAvgPairwise    float64
+	MeanBoundingFill   float64
+	MeanComponents     float64
+	PctContiguous      float64
+	MeanPerimeterRatio float64 // perimeter / ideal square perimeter
+}
+
+// Summarize folds per-allocation metrics into a Summary.
+func Summarize(ms []Dispersal, sizes []int) Summary {
+	if len(ms) != len(sizes) {
+		panic("metrics: mismatched metric and size slices")
+	}
+	var s Summary
+	s.N = len(ms)
+	if s.N == 0 {
+		return s
+	}
+	contig := 0
+	for i, d := range ms {
+		s.MeanAvgPairwise += d.AvgPairwise
+		s.MeanBoundingFill += d.BoundingBoxFill
+		s.MeanComponents += float64(d.Components)
+		if d.Contiguous {
+			contig++
+		}
+		s.MeanPerimeterRatio += float64(d.Perimeter) / idealPerimeter(sizes[i])
+	}
+	n := float64(s.N)
+	s.MeanAvgPairwise /= n
+	s.MeanBoundingFill /= n
+	s.MeanComponents /= n
+	s.MeanPerimeterRatio /= n
+	s.PctContiguous = 100 * float64(contig) / n
+	return s
+}
+
+// idealPerimeter returns the boundary edge count of the most compact
+// (near-square) arrangement of k processors.
+func idealPerimeter(k int) float64 {
+	if k <= 0 {
+		return 1
+	}
+	side := math.Sqrt(float64(k))
+	return 4 * side
+}

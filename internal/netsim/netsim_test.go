@@ -1,0 +1,386 @@
+package netsim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"meshalloc/internal/mesh"
+)
+
+func testConfig() Config {
+	return Config{MessageFlits: 10, FlitCycle: 0.01, HopLatency: 0.005, LocalDelay: 0.001}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	m := mesh.New(4, 4)
+	for _, cfg := range []Config{
+		{MessageFlits: 0, FlitCycle: 0.01},
+		{MessageFlits: 4, FlitCycle: -1},
+		{MessageFlits: 4, FlitCycle: 0.01, HopLatency: -0.1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%+v) should panic", cfg)
+				}
+			}()
+			New(m, cfg)
+		}()
+	}
+}
+
+func TestUncontendedLatency(t *testing.T) {
+	m := mesh.New(8, 8)
+	n := New(m, testConfig())
+	// 3 hops: 3*0.005 + 10*0.01 = 0.115.
+	r := n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 3, Y: 0}), 0)
+	if r.Hops != 3 {
+		t.Fatalf("hops = %d, want 3", r.Hops)
+	}
+	want := 0.115
+	if math.Abs(r.Arrival-want) > 1e-12 {
+		t.Fatalf("arrival = %g, want %g", r.Arrival, want)
+	}
+	if r.Queued != 0 {
+		t.Fatalf("queued = %g on idle network", r.Queued)
+	}
+	if got := n.UncontendedLatency(3); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("UncontendedLatency(3) = %g, want %g", got, want)
+	}
+}
+
+func TestSelfMessageUsesLocalDelay(t *testing.T) {
+	m := mesh.New(4, 4)
+	n := New(m, testConfig())
+	r := n.Send(5, 5, 2.0)
+	if r.Hops != 0 || r.Arrival != 2.001 {
+		t.Fatalf("self message result = %+v", r)
+	}
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	m := mesh.New(8, 1)
+	n := New(m, testConfig())
+	// Two messages crossing the same link 0->1 at the same time: the
+	// second queues for one service time (0.1).
+	r1 := n.Send(0, 2, 0)
+	r2 := n.Send(0, 2, 0)
+	if r1.Queued != 0 {
+		t.Fatalf("first message queued %g", r1.Queued)
+	}
+	if math.Abs(r2.Queued-0.1) > 1e-12 {
+		t.Fatalf("second message queued %g, want 0.1", r2.Queued)
+	}
+	if r2.Arrival <= r1.Arrival {
+		t.Fatal("second message should arrive after the first")
+	}
+}
+
+func TestOppositeDirectionsDoNotContend(t *testing.T) {
+	m := mesh.New(8, 1)
+	n := New(m, testConfig())
+	r1 := n.Send(0, 3, 0)
+	r2 := n.Send(3, 0, 0) // full duplex: reverse links are distinct
+	if r1.Queued != 0 || r2.Queued != 0 {
+		t.Fatalf("duplex messages queued %g and %g", r1.Queued, r2.Queued)
+	}
+}
+
+func TestDisjointPathsDoNotContend(t *testing.T) {
+	m := mesh.New(8, 8)
+	n := New(m, testConfig())
+	r1 := n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 3, Y: 0}), 0)
+	r2 := n.Send(m.ID(mesh.Point{X: 0, Y: 4}), m.ID(mesh.Point{X: 3, Y: 4}), 0)
+	if r1.Queued != 0 || r2.Queued != 0 {
+		t.Fatal("disjoint rows should not contend")
+	}
+}
+
+func TestXYRoutingContention(t *testing.T) {
+	// Under x-y routing, a message (0,0)->(2,2) uses link (2,0)->(2,1);
+	// a message (2,0)->(2,2) uses the same link. They contend even
+	// though their sources differ.
+	m := mesh.New(4, 4)
+	n := New(m, testConfig())
+	n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 2, Y: 2}), 0)
+	r2 := n.Send(m.ID(mesh.Point{X: 2, Y: 0}), m.ID(mesh.Point{X: 2, Y: 2}), 0)
+	if r2.Queued <= 0 {
+		t.Fatal("column-sharing messages should contend under x-y routing")
+	}
+}
+
+func TestSendPanicsOnTimeTravel(t *testing.T) {
+	m := mesh.New(4, 4)
+	n := New(m, testConfig())
+	n.Send(0, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Send should panic")
+		}
+	}()
+	n.Send(0, 1, 4)
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	m := mesh.New(8, 8)
+	n := New(m, testConfig())
+	n.Send(0, 1, 0)
+	n.Send(0, 2, 0)
+	n.Send(3, 3, 1)
+	s := n.Stats()
+	if s.Messages != 3 {
+		t.Fatalf("messages = %d", s.Messages)
+	}
+	if s.TotalHops != 3 {
+		t.Fatalf("total hops = %d, want 3", s.TotalHops)
+	}
+	if got := s.AvgHops(); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("avg hops = %g, want 1", got)
+	}
+	if s.AvgLatency() <= 0 {
+		t.Fatal("avg latency should be positive")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := mesh.New(4, 4)
+	n := New(m, testConfig())
+	n.Send(0, 5, 10)
+	n.Reset()
+	if n.Stats().Messages != 0 {
+		t.Fatal("stats survive reset")
+	}
+	r := n.Send(0, 5, 0) // clock must also reset
+	if r.Queued != 0 {
+		t.Fatal("link state survives reset")
+	}
+}
+
+func TestEmptyStatsAverages(t *testing.T) {
+	var s Stats
+	if s.AvgHops() != 0 || s.AvgLatency() != 0 {
+		t.Fatal("empty stats should average to 0")
+	}
+}
+
+// TestArrivalMonotoneInLoad checks the queueing property the whole
+// simulation rests on: adding background traffic never speeds up a
+// message.
+func TestArrivalMonotoneInLoad(t *testing.T) {
+	m := mesh.New(8, 8)
+	f := func(srcRaw, dstRaw uint8, bg []uint16) bool {
+		src := int(srcRaw) % m.Size()
+		dst := int(dstRaw) % m.Size()
+
+		quiet := New(m, testConfig())
+		probeQuiet := quiet.Send(src, dst, 1.0)
+
+		busy := New(m, testConfig())
+		for _, b := range bg {
+			s := int(b>>8) % m.Size()
+			d := int(b&0xff) % m.Size()
+			busy.Send(s, d, 0.5)
+		}
+		probeBusy := busy.Send(src, dst, 1.0)
+
+		return probeBusy.Arrival >= probeQuiet.Arrival-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCloserDestinationsArriveSooner checks, on an idle network, the
+// locality property allocation exploits: fewer hops means earlier
+// delivery.
+func TestCloserDestinationsArriveSooner(t *testing.T) {
+	m := mesh.New(16, 16)
+	n := New(m, testConfig())
+	prev := -1.0
+	for d := 1; d < 16; d++ {
+		nn := New(m, testConfig())
+		r := nn.Send(0, d, 0) // along the bottom row: d hops
+		if r.Hops != d {
+			t.Fatalf("hops to column %d = %d", d, r.Hops)
+		}
+		if r.Arrival <= prev {
+			t.Fatalf("arrival not increasing with distance at %d hops", d)
+		}
+		prev = r.Arrival
+	}
+	_ = n
+}
+
+// TestQueueingConservation checks that the aggregate queueing statistic
+// equals the sum of per-message queueing over an arbitrary workload.
+func TestQueueingConservation(t *testing.T) {
+	m := mesh.New(6, 6)
+	n := New(m, testConfig())
+	total := 0.0
+	hops := int64(0)
+	for i := 0; i < 500; i++ {
+		src := (i * 7) % m.Size()
+		dst := (i*13 + 5) % m.Size()
+		r := n.Send(src, dst, float64(i)*0.01)
+		total += r.Queued
+		hops += int64(r.Hops)
+	}
+	s := n.Stats()
+	if math.Abs(s.TotalQueueSec-total) > 1e-9 {
+		t.Fatalf("TotalQueueSec %g != sum of per-message queueing %g", s.TotalQueueSec, total)
+	}
+	if s.TotalHops != hops {
+		t.Fatalf("TotalHops %d != %d", s.TotalHops, hops)
+	}
+	if s.Messages != 500 {
+		t.Fatalf("Messages = %d", s.Messages)
+	}
+}
+
+// TestLatencyDecomposition checks that per-message latency equals the
+// uncontended baseline plus the queueing delay.
+func TestLatencyDecomposition(t *testing.T) {
+	m := mesh.New(8, 8)
+	n := New(m, testConfig())
+	for i := 0; i < 200; i++ {
+		src := (i * 11) % m.Size()
+		dst := (i*17 + 3) % m.Size()
+		if src == dst {
+			continue
+		}
+		t0 := float64(i) * 0.02
+		r := n.Send(src, dst, t0)
+		want := n.UncontendedLatency(r.Hops) + r.Queued
+		if math.Abs((r.Arrival-t0)-want) > 1e-9 {
+			t.Fatalf("message %d: latency %g != baseline+queued %g", i, r.Arrival-t0, want)
+		}
+	}
+}
+
+func TestRoutingByName(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		want Routing
+	}{{"", RouteXY}, {"xy", RouteXY}, {"yx", RouteYX}, {"adaptive", RouteAdaptive}} {
+		got, err := RoutingByName(tc.name)
+		if err != nil || got != tc.want {
+			t.Errorf("RoutingByName(%q) = %v, %v", tc.name, got, err)
+		}
+	}
+	if _, err := RoutingByName("west-first"); err == nil {
+		t.Error("unknown routing should fail")
+	}
+	if RouteXY.String() != "xy" || RouteYX.String() != "yx" || RouteAdaptive.String() != "adaptive" {
+		t.Error("Routing.String mismatch")
+	}
+}
+
+func TestYXRoutingUsesColumnFirst(t *testing.T) {
+	m := mesh.New(4, 4)
+	cfg := testConfig()
+	cfg.Routing = RouteYX
+	n := New(m, cfg)
+	// Under y-x routing, (0,0)->(2,2) and (0,2)->(2,2) share the row-2
+	// links, unlike under x-y routing.
+	n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 2, Y: 2}), 0)
+	r2 := n.Send(m.ID(mesh.Point{X: 0, Y: 2}), m.ID(mesh.Point{X: 2, Y: 2}), 0)
+	if r2.Queued <= 0 {
+		t.Fatal("row-sharing messages should contend under y-x routing")
+	}
+}
+
+func TestAdaptiveRoutingAvoidsCongestion(t *testing.T) {
+	m := mesh.New(4, 4)
+	cfg := testConfig()
+	cfg.Routing = RouteAdaptive
+	n := New(m, cfg)
+	src := m.ID(mesh.Point{X: 0, Y: 0})
+	dst := m.ID(mesh.Point{X: 2, Y: 2})
+	// Congest the x-y route's first link (0,0)->(1,0) with row traffic.
+	for i := 0; i < 5; i++ {
+		n.Send(src, m.ID(mesh.Point{X: 3, Y: 0}), 0)
+	}
+	r := n.Send(src, dst, 0)
+	// The adaptive router should take the y-first route and dodge the
+	// queue entirely.
+	if r.Queued != 0 {
+		t.Fatalf("adaptive route queued %g, want 0", r.Queued)
+	}
+
+	// A plain x-y network must queue in the same situation.
+	nxy := New(m, testConfig())
+	for i := 0; i < 5; i++ {
+		nxy.Send(src, m.ID(mesh.Point{X: 3, Y: 0}), 0)
+	}
+	if r := nxy.Send(src, dst, 0); r.Queued <= 0 {
+		t.Fatal("x-y control should have queued")
+	}
+}
+
+func TestLinkUtilization(t *testing.T) {
+	m := mesh.New(8, 1)
+	n := New(m, testConfig())
+	if u := n.LinkUtilization(); len(u) != m.NumLinks() {
+		t.Fatalf("utilization length %d", len(u))
+	}
+	// Before traffic: zeros.
+	for _, u := range n.LinkUtilization() {
+		if u != 0 {
+			t.Fatal("idle network should have zero utilization")
+		}
+	}
+	// One message 0->1 at t=1: link (0,+x) busy 0.1 over clock 1.
+	n.Send(0, 1, 1.0)
+	util := n.LinkUtilization()
+	li := m.LinkIndex(mesh.Link{From: 0, Dir: mesh.XPos})
+	if math.Abs(util[li]-0.1) > 1e-12 {
+		t.Fatalf("link utilization %g, want 0.1", util[li])
+	}
+	// Unused links remain zero.
+	other := m.LinkIndex(mesh.Link{From: 3, Dir: mesh.XPos})
+	if util[other] != 0 {
+		t.Fatal("unused link shows utilization")
+	}
+}
+
+func TestNodeUtilizationAggregates(t *testing.T) {
+	m := mesh.New(4, 4)
+	n := New(m, testConfig())
+	n.Send(0, 3, 1.0) // bottom row eastward
+	nu := n.NodeUtilization()
+	if len(nu) != 16 {
+		t.Fatalf("node utilization length %d", len(nu))
+	}
+	if nu[0] <= 0 || nu[1] <= 0 || nu[2] <= 0 {
+		t.Fatal("sending nodes should show utilization")
+	}
+	if nu[15] != 0 {
+		t.Fatal("far corner should be idle")
+	}
+}
+
+func TestUtilizationResets(t *testing.T) {
+	m := mesh.New(4, 4)
+	n := New(m, testConfig())
+	n.Send(0, 3, 1.0)
+	n.Reset()
+	for _, u := range n.LinkUtilization() {
+		if u != 0 {
+			t.Fatal("utilization survives reset")
+		}
+	}
+}
+
+func TestDefaultConfigSane(t *testing.T) {
+	// The default is calibrated to the paper's second-scale per-message
+	// times (Figure 9: ~0.5-4.5 s per message): one link service time
+	// must land in the low single-digit seconds.
+	cfg := DefaultConfig()
+	if cfg.serviceTime() < 0.5 || cfg.serviceTime() > 10 {
+		t.Fatalf("default service time %g s out of the calibrated range", cfg.serviceTime())
+	}
+	if cfg.HopLatency <= 0 || cfg.HopLatency >= cfg.serviceTime() {
+		t.Fatalf("hop latency %g should be positive and below service time", cfg.HopLatency)
+	}
+}

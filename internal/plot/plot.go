@@ -1,0 +1,195 @@
+// Package plot renders simple ASCII line and scatter charts for the
+// experiment harness, so `cmd/experiments -plot` shows response-vs-load
+// curves shaped like the paper's figures without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one plotted dataset.
+type Series struct {
+	Label string
+	X, Y  []float64
+}
+
+// Config controls chart geometry.
+type Config struct {
+	// Width and Height are the plot area in characters; zero values
+	// default to 64 x 20.
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Title is printed above the chart.
+	Title string
+	// InvertX flips the x axis (the paper plots "Load (decreasing)").
+	InvertX bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Width <= 0 {
+		c.Width = 64
+	}
+	if c.Height <= 0 {
+		c.Height = 20
+	}
+	return c
+}
+
+// markers cycles per series, matching the paper's symbol-per-algorithm
+// legends.
+var markers = []byte{'+', 'o', '*', 'x', '#', '@', '%', '^', '~', '&'}
+
+// Render draws the series into one chart. Series with no finite points
+// are skipped; an empty chart is returned when nothing is plottable.
+func Render(cfg Config, series []Series) string {
+	cfg = cfg.withDefaults()
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	usable := make([]Series, 0, len(series))
+	for _, s := range series {
+		ok := false
+		for i := range s.X {
+			if isFinite(s.X[i]) && isFinite(s.Y[i]) {
+				ok = true
+				minX = math.Min(minX, s.X[i])
+				maxX = math.Max(maxX, s.X[i])
+				minY = math.Min(minY, s.Y[i])
+				maxY = math.Max(maxY, s.Y[i])
+			}
+		}
+		if ok {
+			usable = append(usable, s)
+		}
+	}
+	if len(usable) == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, cfg.Height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", cfg.Width))
+	}
+	for si, s := range usable {
+		mark := markers[si%len(markers)]
+		pts := sortedPoints(s)
+		var prevCol, prevRow int
+		havePrev := false
+		for _, p := range pts {
+			col := scale(p.x, minX, maxX, cfg.Width-1)
+			if cfg.InvertX {
+				col = cfg.Width - 1 - col
+			}
+			row := cfg.Height - 1 - scale(p.y, minY, maxY, cfg.Height-1)
+			if havePrev {
+				drawLine(grid, prevCol, prevRow, col, row, '.')
+			}
+			grid[row][col] = mark
+			prevCol, prevRow, havePrev = col, row, true
+		}
+	}
+
+	var b strings.Builder
+	if cfg.Title != "" {
+		fmt.Fprintf(&b, "%s\n", cfg.Title)
+	}
+	if cfg.YLabel != "" {
+		fmt.Fprintf(&b, "%s (%.4g .. %.4g)\n", cfg.YLabel, minY, maxY)
+	}
+	for _, row := range grid {
+		b.WriteString("|")
+		b.Write(row)
+		b.WriteString("\n")
+	}
+	b.WriteString("+")
+	b.WriteString(strings.Repeat("-", cfg.Width))
+	b.WriteString("\n")
+	lo, hi := minX, maxX
+	if cfg.InvertX {
+		lo, hi = maxX, minX
+	}
+	if cfg.XLabel != "" {
+		fmt.Fprintf(&b, " %s: %.4g .. %.4g\n", cfg.XLabel, lo, hi)
+	}
+	for si, s := range usable {
+		fmt.Fprintf(&b, "  %c %s\n", markers[si%len(markers)], s.Label)
+	}
+	return b.String()
+}
+
+type point struct{ x, y float64 }
+
+func sortedPoints(s Series) []point {
+	pts := make([]point, 0, len(s.X))
+	for i := range s.X {
+		if isFinite(s.X[i]) && isFinite(s.Y[i]) {
+			pts = append(pts, point{s.X[i], s.Y[i]})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i].x < pts[j].x })
+	return pts
+}
+
+// scale maps v in [lo, hi] onto [0, n].
+func scale(v, lo, hi float64, n int) int {
+	f := (v - lo) / (hi - lo)
+	idx := int(math.Round(f * float64(n)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > n {
+		idx = n
+	}
+	return idx
+}
+
+// drawLine draws a Bresenham segment with filler, never overwriting
+// series markers.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, filler byte) {
+	dx := abs(x1 - x0)
+	dy := -abs(y1 - y0)
+	sx, sy := 1, 1
+	if x0 > x1 {
+		sx = -1
+	}
+	if y0 > y1 {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if grid[y][x] == ' ' {
+			grid[y][x] = filler
+		}
+		if x == x1 && y == y1 {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }

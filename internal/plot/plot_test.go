@@ -1,0 +1,94 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	out := Render(Config{Width: 20, Height: 8, Title: "t", XLabel: "x", YLabel: "y"},
+		[]Series{{Label: "up", X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}}})
+	if !strings.Contains(out, "t\n") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "+ up") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "+--------------------") {
+		t.Errorf("missing axis:\n%s", out)
+	}
+	// The increasing series puts a marker at bottom-left and top-right.
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			plotLines = append(plotLines, l)
+		}
+	}
+	if len(plotLines) != 8 {
+		t.Fatalf("%d plot rows, want 8", len(plotLines))
+	}
+	if plotLines[0][20] != '+' { // top row, rightmost column
+		t.Errorf("expected marker at top right:\n%s", out)
+	}
+	if plotLines[7][1] != '+' { // bottom row, leftmost column
+		t.Errorf("expected marker at bottom left:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(Config{}, nil); out != "(no data)\n" {
+		t.Fatalf("empty render = %q", out)
+	}
+	if out := Render(Config{}, []Series{{Label: "nan", X: []float64{math.NaN()}, Y: []float64{1}}}); out != "(no data)\n" {
+		t.Fatalf("nan render = %q", out)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	out := Render(Config{Width: 30, Height: 10},
+		[]Series{
+			{Label: "a", X: []float64{0, 1}, Y: []float64{0, 0}},
+			{Label: "b", X: []float64{0, 1}, Y: []float64{1, 1}},
+		})
+	if !strings.Contains(out, "+ a") || !strings.Contains(out, "o b") {
+		t.Fatalf("legend markers missing:\n%s", out)
+	}
+}
+
+func TestRenderInvertX(t *testing.T) {
+	// With InvertX, the point with the largest x lands leftmost.
+	out := Render(Config{Width: 21, Height: 5, InvertX: true, XLabel: "load"},
+		[]Series{{Label: "s", X: []float64{0.2, 1.0}, Y: []float64{1, 0}}})
+	lines := strings.Split(out, "\n")
+	var plotLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "|") {
+			plotLines = append(plotLines, l)
+		}
+	}
+	// y=1 (top row) belongs to x=0.2 which must be at the right edge
+	// when inverted... x=0.2 is min, so inverted it goes to the right.
+	if plotLines[0][21] != '+' {
+		t.Fatalf("inverted x: min-x point should be rightmost:\n%s", out)
+	}
+	if !strings.Contains(out, "load: 1 .. 0.2") {
+		t.Fatalf("inverted axis label missing:\n%s", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	// Degenerate ranges must not divide by zero.
+	out := Render(Config{Width: 10, Height: 4},
+		[]Series{{Label: "c", X: []float64{5, 5}, Y: []float64{3, 3}}})
+	if !strings.Contains(out, "+ c") {
+		t.Fatalf("constant series unrendered:\n%s", out)
+	}
+}
+
+func TestScaleBounds(t *testing.T) {
+	if scale(0, 0, 1, 10) != 0 || scale(1, 0, 1, 10) != 10 || scale(0.5, 0, 1, 10) != 5 {
+		t.Fatal("scale endpoints wrong")
+	}
+}

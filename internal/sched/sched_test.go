@@ -1,0 +1,142 @@
+package sched
+
+import "testing"
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"fcfs", "easy", "sjf"} {
+		p, err := ByName(name)
+		if err != nil || p.Name() != name {
+			t.Fatalf("ByName(%q) = %v, %v", name, p, err)
+		}
+	}
+	if _, err := ByName("gang"); err == nil {
+		t.Fatal("unknown policy should fail")
+	}
+}
+
+func TestSJFPicksShortestFitting(t *testing.T) {
+	p := SJF{}
+	pending := []Pending{
+		{Size: 8, EstRuntime: 100},
+		{Size: 20, EstRuntime: 1}, // shortest but does not fit
+		{Size: 4, EstRuntime: 10},
+		{Size: 2, EstRuntime: 50},
+	}
+	if got := p.Pick(pending, 0, 10, nil); got != 2 {
+		t.Fatalf("Pick = %d, want 2 (shortest fitting)", got)
+	}
+	if got := p.Pick(pending, 0, 1, nil); got != -1 {
+		t.Fatalf("Pick with nothing fitting = %d", got)
+	}
+}
+
+func TestFCFSHeadFits(t *testing.T) {
+	p := FCFS{}
+	pending := []Pending{{Size: 8}, {Size: 2}}
+	if got := p.Pick(pending, 0, 10, nil); got != 0 {
+		t.Fatalf("Pick = %d, want 0", got)
+	}
+}
+
+func TestFCFSHeadBlocks(t *testing.T) {
+	p := FCFS{}
+	// Head needs 8, only 4 free: strict FCFS starts nothing even though
+	// the second job fits.
+	pending := []Pending{{Size: 8}, {Size: 2}}
+	if got := p.Pick(pending, 0, 4, nil); got != -1 {
+		t.Fatalf("Pick = %d, want -1", got)
+	}
+}
+
+func TestFCFSEmptyQueue(t *testing.T) {
+	if got := (FCFS{}).Pick(nil, 0, 10, nil); got != -1 {
+		t.Fatalf("Pick on empty queue = %d", got)
+	}
+}
+
+func TestEASYHeadFirst(t *testing.T) {
+	p := EASY{}
+	pending := []Pending{{Size: 4}, {Size: 2}}
+	if got := p.Pick(pending, 0, 4, nil); got != 0 {
+		t.Fatalf("Pick = %d, want 0 (head fits)", got)
+	}
+}
+
+func TestEASYBackfillsShortJob(t *testing.T) {
+	p := EASY{}
+	// Head needs 8; 4 free; a running 4-proc job ends at t=100, so the
+	// head's reservation is t=100. A 2-proc job estimated to finish by
+	// then may backfill.
+	pending := []Pending{
+		{Size: 8, EstRuntime: 50},
+		{Size: 2, EstRuntime: 40},
+	}
+	running := []Running{{Size: 4, EstEnd: 100}}
+	if got := p.Pick(pending, 10, 4, running); got != 1 {
+		t.Fatalf("Pick = %d, want 1 (backfill)", got)
+	}
+}
+
+func TestEASYRefusesDelayingBackfill(t *testing.T) {
+	p := EASY{}
+	// Same as above but the candidate would finish after the
+	// reservation and would eat reserved processors.
+	pending := []Pending{
+		{Size: 8, EstRuntime: 50},
+		{Size: 4, EstRuntime: 200},
+	}
+	running := []Running{{Size: 4, EstEnd: 100}}
+	if got := p.Pick(pending, 10, 4, running); got != -1 {
+		t.Fatalf("Pick = %d, want -1", got)
+	}
+}
+
+func TestEASYAllowsExtraProcessorBackfill(t *testing.T) {
+	p := EASY{}
+	// Reservation at t=100 frees 12 procs for an 8-proc head: 4 extra.
+	// A long 3-proc job cannot delay the head because it fits in the
+	// extra processors.
+	pending := []Pending{
+		{Size: 8, EstRuntime: 50},
+		{Size: 3, EstRuntime: 1e9},
+	}
+	running := []Running{{Size: 12, EstEnd: 100}}
+	if got := p.Pick(pending, 10, 3, running); got != 1 {
+		t.Fatalf("Pick = %d, want 1", got)
+	}
+}
+
+func TestEASYUnsatisfiableReservation(t *testing.T) {
+	p := EASY{}
+	// Nothing running and the head can never fit: no backfilling
+	// decisions can be justified.
+	pending := []Pending{{Size: 100}, {Size: 2, EstRuntime: 1}}
+	if got := p.Pick(pending, 0, 4, nil); got != -1 {
+		t.Fatalf("Pick = %d, want -1", got)
+	}
+}
+
+func TestShadowTimeOrdering(t *testing.T) {
+	// Releases accumulate in end order: 2 at t=10, 3 at t=20, 5 at t=30.
+	running := []Running{
+		{Size: 5, EstEnd: 30},
+		{Size: 2, EstEnd: 10},
+		{Size: 3, EstEnd: 20},
+	}
+	shadow, extra := shadowTime(5, 0, running)
+	if shadow != 20 || extra != 0 {
+		t.Fatalf("shadow = %g, extra = %d; want 20, 0", shadow, extra)
+	}
+	shadow, extra = shadowTime(6, 1, running)
+	if shadow != 20 || extra != 0 {
+		t.Fatalf("shadow = %g, extra = %d; want 20, 0", shadow, extra)
+	}
+	shadow, extra = shadowTime(10, 0, running)
+	if shadow != 30 || extra != 0 {
+		t.Fatalf("shadow = %g, extra = %d; want 30, 0", shadow, extra)
+	}
+	// More processors than will ever free up: unsatisfiable.
+	if _, extra = shadowTime(11, 0, running); extra != -1 {
+		t.Fatalf("unsatisfiable reservation extra = %d, want -1", extra)
+	}
+}

@@ -1,0 +1,457 @@
+// Package sim is the trace-driven microsimulator: it binds the scheduler,
+// an allocation algorithm, a communication pattern, and the network model
+// into one event-driven run over a job trace, producing the per-job
+// records behind every figure in the paper.
+//
+// Job model, following Section 3 of the paper: a job arrives, waits in
+// the FCFS queue until the allocator can place it, and then communicates.
+// Its message quota is one message per second of traced runtime. The
+// pattern's messages are issued subphase by subphase: all messages of a
+// subphase enter the network together and the next subphase starts when
+// the last of them arrives. The job terminates when the whole quota has
+// been delivered, so a job's lifetime — and through queueing, every later
+// job's response time — is determined by network contention, which is
+// what the allocation algorithms fight over.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"meshalloc/internal/alloc"
+	"meshalloc/internal/comm"
+	"meshalloc/internal/mesh"
+	"meshalloc/internal/netsim"
+	"meshalloc/internal/sched"
+	"meshalloc/internal/stats"
+	"meshalloc/internal/trace"
+)
+
+// IssueMode selects how a job's messages enter the network.
+type IssueMode int
+
+const (
+	// IssuePhased injects each pattern subphase as one concurrent burst
+	// with a barrier before the next subphase — the parallel-program
+	// behaviour ProcSimity models. Default.
+	IssuePhased IssueMode = iota
+	// IssueSequential injects one message at a time per job, each send
+	// blocking on the previous delivery; the ablation mode.
+	IssueSequential
+)
+
+// String implements fmt.Stringer.
+func (m IssueMode) String() string {
+	if m == IssueSequential {
+		return "sequential"
+	}
+	return "phased"
+}
+
+// Config describes one simulation run.
+type Config struct {
+	// MeshW, MeshH are the machine dimensions (paper: 16x22 and 16x16).
+	MeshW, MeshH int
+	// Torus adds wraparound links (the paper's machines are plain
+	// meshes; torus mode is an extension for other topologies).
+	Torus bool
+	// Alloc is the allocator spec (see alloc.Spec), e.g. "hilbert/bestfit".
+	Alloc string
+	// Pattern is the communication pattern name (see comm.ByName).
+	Pattern string
+	// Load is the arrival-contraction factor (1 down to 0.2).
+	Load float64
+	// TimeScale contracts the whole trace (arrivals, runtimes and hence
+	// message quotas) to keep runs tractable; reported times re-inflate
+	// by 1/TimeScale. 1.0 replays the trace at full length.
+	TimeScale float64
+	// Seed drives randomized patterns and allocators.
+	Seed int64
+	// Net is the network timing; zero value means netsim.DefaultConfig.
+	Net netsim.Config
+	// Scheduler is "fcfs" (default, as in the paper) or "easy".
+	Scheduler string
+	// Issue selects phased (default) or sequential message injection.
+	Issue IssueMode
+	// MsgsPerSecond converts traced runtime to message quota (paper: 1).
+	MsgsPerSecond float64
+	// MaxPhase caps messages issued per event to bound event sizes for
+	// enormous all-to-all phases; 0 means no cap.
+	MaxPhase int
+}
+
+// withDefaults fills zero fields with the paper-experiment defaults.
+func (c Config) withDefaults() Config {
+	if c.Load == 0 {
+		c.Load = 1
+	}
+	if c.TimeScale == 0 {
+		c.TimeScale = 1
+	}
+	if c.Net.MessageFlits == 0 {
+		c.Net = netsim.DefaultConfig()
+	}
+	if c.Scheduler == "" {
+		c.Scheduler = "fcfs"
+	}
+	if c.MsgsPerSecond == 0 {
+		c.MsgsPerSecond = 1
+	}
+	return c
+}
+
+// JobRecord is the per-job outcome, in original (un-time-scaled) seconds.
+type JobRecord struct {
+	ID   int
+	Size int
+	// Quota is the number of messages the job had to deliver.
+	Quota int64
+	// Arrival, Start, Finish are absolute times; Response = Finish -
+	// Arrival (the paper's metric), RunTime = Finish - Start.
+	Arrival, Start, Finish float64
+	Response, RunTime      float64
+	Wait                   float64
+	// AvgPairwise is the mean pairwise Manhattan distance of the job's
+	// processors (the dispersal metric of Figure 9).
+	AvgPairwise float64
+	// AvgMsgDist is the mean hops per delivered message (Figure 10).
+	AvgMsgDist float64
+	// QueuedSec is the total time the job's messages spent blocked on
+	// busy links.
+	QueuedSec float64
+	// Components is the number of rectilinearly-connected components of
+	// the allocation; Contiguous means a single component (Figure 11).
+	Components int
+	Contiguous bool
+	// Nodes is the allocation itself (sorted processor ids), retained so
+	// consumers can compute further dispersal metrics post hoc.
+	Nodes []int
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Config  Config
+	Records []JobRecord
+	// MeanResponse is the mean job response time in original seconds.
+	MeanResponse float64
+	// MedianResponse is the 50th percentile response time.
+	MedianResponse float64
+	// PctContiguous is the percentage of jobs allocated contiguously.
+	PctContiguous float64
+	// AvgComponents is the mean number of allocation components per job.
+	AvgComponents float64
+	// Net is the aggregate network activity (in scaled time units).
+	Net netsim.Stats
+	// NodeUtilization is each node's mean outgoing-link busy fraction
+	// over the run, a contention heatmap indexed by node id.
+	NodeUtilization []float64
+	// Makespan is the completion time of the last job, original seconds.
+	Makespan float64
+	// UtilizationPct is the time-weighted percentage of processors held
+	// by jobs over the makespan — the system-utilization measure that
+	// the paper says contiguous-only allocation drives unacceptably low.
+	UtilizationPct float64
+	// MeanQueueLen is the time-weighted mean number of queued jobs.
+	MeanQueueLen float64
+}
+
+// event is a heap entry.
+type event struct {
+	t    float64
+	seq  int64 // FIFO tie-break for determinism
+	kind int   // kindArrival, kindStep or kindFinish
+	job  *runningJob
+	idx  int // arrival: trace index
+}
+
+const (
+	kindArrival = iota
+	kindStep
+	kindFinish
+)
+
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+type runningJob struct {
+	job      trace.Job
+	nodes    []int
+	gen      comm.Generator
+	quota    int64
+	sent     int64
+	start    float64
+	lastArr  float64 // latest delivery so far
+	hops     int64
+	queued   float64
+	pending  comm.Msg // first message of the next phase (phased mode)
+	havePend bool
+	estEnd   float64 // nominal end for backfilling estimates
+}
+
+// Run simulates the trace under cfg and returns the per-job records. The
+// trace is taken in original time units; Run applies Load and TimeScale
+// itself. Jobs larger than the mesh are rejected with an error.
+func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	cfg = cfg.withDefaults()
+	var m *mesh.Mesh
+	if cfg.Torus {
+		m = mesh.NewTorus(cfg.MeshW, cfg.MeshH)
+	} else {
+		m = mesh.New(cfg.MeshW, cfg.MeshH)
+	}
+	for _, j := range tr.Jobs {
+		if j.Size > m.Size() {
+			return nil, fmt.Errorf("sim: job %d needs %d processors, mesh has %d (filter the trace first)",
+				j.ID, j.Size, m.Size())
+		}
+	}
+	allocator, err := alloc.Spec(m, cfg.Alloc, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := comm.ByName(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	policy, err := sched.ByName(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	net := netsim.New(m, cfg.Net)
+	rng := stats.NewRNG(cfg.Seed)
+
+	scaled := tr.ScaleLoad(cfg.Load).ScaleTime(cfg.TimeScale)
+
+	var (
+		events  eventHeap
+		seq     int64
+		queue   []trace.Job // FCFS arrival order
+		running = map[*runningJob]bool{}
+		records = make([]JobRecord, 0, len(scaled.Jobs))
+
+		// Time-weighted occupancy accounting.
+		busyProcs   int
+		lastAccount float64
+		busyArea    float64 // processor-seconds held by jobs
+		queueArea   float64 // job-seconds spent queued
+	)
+	account := func(now float64) {
+		if now > lastAccount {
+			busyArea += float64(busyProcs) * (now - lastAccount)
+			queueArea += float64(len(queue)) * (now - lastAccount)
+			lastAccount = now
+		}
+	}
+	push := func(e event) {
+		e.seq = seq
+		seq++
+		heap.Push(&events, e)
+	}
+	for i := range scaled.Jobs {
+		push(event{t: scaled.Jobs[i].Arrival, kind: kindArrival, idx: i})
+	}
+	heap.Init(&events)
+
+	quotaOf := func(j trace.Job) int64 {
+		q := int64(math.Round(j.Runtime * cfg.MsgsPerSecond))
+		if q < 1 {
+			q = 1
+		}
+		return q
+	}
+
+	_, isFCFS := policy.(sched.FCFS)
+	// trySchedule starts every job the policy allows at time now.
+	trySchedule := func(now float64) {
+		for {
+			var pick int
+			if isFCFS {
+				// Fast path: strict FCFS only ever inspects the head.
+				pick = -1
+				if len(queue) > 0 && queue[0].Size <= allocator.NumFree() {
+					pick = 0
+				}
+			} else {
+				pend := make([]sched.Pending, len(queue))
+				for i, j := range queue {
+					pend[i] = sched.Pending{Size: j.Size, EstRuntime: j.Runtime}
+				}
+				runInfo := make([]sched.Running, 0, len(running))
+				for rj := range running {
+					runInfo = append(runInfo, sched.Running{Size: rj.job.Size, EstEnd: rj.estEnd})
+				}
+				pick = policy.Pick(pend, now, allocator.NumFree(), runInfo)
+			}
+			if pick < 0 {
+				return
+			}
+			job := queue[pick]
+			nodes, err := allocator.Allocate(alloc.Request{Size: job.Size})
+			if err == alloc.ErrInsufficient {
+				// Contiguous allocators (submesh, buddy) can refuse on
+				// external fragmentation even when enough processors
+				// are free; the job stays queued until a release.
+				return
+			}
+			if err != nil {
+				// Any other refusal is a bookkeeping bug.
+				panic(fmt.Sprintf("sim: allocator %s refused %d procs with %d free: %v",
+					allocator.Name(), job.Size, allocator.NumFree(), err))
+			}
+			queue = append(queue[:pick], queue[pick+1:]...)
+			rj := &runningJob{
+				job:     job,
+				nodes:   nodes,
+				gen:     pattern.Generator(job.Size, rng),
+				quota:   quotaOf(job),
+				start:   now,
+				lastArr: now,
+				estEnd:  now + job.Runtime,
+			}
+			running[rj] = true
+			busyProcs += job.Size
+			push(event{t: now, kind: kindStep, job: rj})
+		}
+	}
+
+	// finish runs as its own event at the time the job's last message
+	// arrived, so processors are not released before that moment.
+	finish := func(rj *runningJob, now float64) {
+		delete(running, rj)
+		allocator.Release(rj.nodes)
+		busyProcs -= rj.job.Size
+		end := rj.lastArr
+		if end < now {
+			end = now
+		}
+		inv := 1 / cfg.TimeScale
+		comps := m.Components(rj.nodes)
+		rec := JobRecord{
+			ID:          rj.job.ID,
+			Size:        rj.job.Size,
+			Quota:       rj.quota,
+			Arrival:     rj.job.Arrival * inv,
+			Start:       rj.start * inv,
+			Finish:      end * inv,
+			Response:    (end - rj.job.Arrival) * inv,
+			RunTime:     (end - rj.start) * inv,
+			Wait:        (rj.start - rj.job.Arrival) * inv,
+			AvgPairwise: m.AvgPairwiseDist(rj.nodes),
+			QueuedSec:   rj.queued * inv,
+			Components:  len(comps),
+			Contiguous:  len(comps) == 1,
+			Nodes:       sortedCopy(rj.nodes),
+		}
+		if rj.sent > 0 {
+			rec.AvgMsgDist = float64(rj.hops) / float64(rj.sent)
+		}
+		records = append(records, rec)
+		trySchedule(end)
+	}
+
+	// step issues the next burst of messages for rj at time now and
+	// schedules the follow-up event.
+	step := func(rj *runningJob, now float64) {
+		burst := int64(1)
+		if cfg.Issue == IssuePhased {
+			burst = math.MaxInt64 // until phase boundary
+		}
+		if cfg.MaxPhase > 0 && burst > int64(cfg.MaxPhase) {
+			burst = int64(cfg.MaxPhase)
+		}
+		maxArr := now
+		var issued int64
+		for issued < burst && rj.sent < rj.quota {
+			var msg comm.Msg
+			if rj.havePend {
+				msg, rj.havePend = rj.pending, false
+			} else {
+				var newPhase bool
+				msg, newPhase = rj.gen.Next()
+				if newPhase && issued > 0 {
+					// The phase ended; save the message for the next burst.
+					rj.pending, rj.havePend = msg, true
+					break
+				}
+			}
+			r := net.Send(rj.nodes[msg.Src], rj.nodes[msg.Dst], now)
+			rj.sent++
+			rj.hops += int64(r.Hops)
+			rj.queued += r.Queued
+			if r.Arrival > maxArr {
+				maxArr = r.Arrival
+			}
+			issued++
+		}
+		if maxArr > rj.lastArr {
+			rj.lastArr = maxArr
+		}
+		if rj.sent >= rj.quota {
+			push(event{t: maxArr, kind: kindFinish, job: rj})
+			return
+		}
+		// Barrier: the next subphase starts when this burst has arrived.
+		push(event{t: maxArr, kind: kindStep, job: rj})
+	}
+
+	for events.Len() > 0 {
+		e := heap.Pop(&events).(event)
+		account(e.t)
+		switch e.kind {
+		case kindArrival:
+			queue = append(queue, scaled.Jobs[e.idx])
+			trySchedule(e.t)
+		case kindStep:
+			step(e.job, e.t)
+		case kindFinish:
+			finish(e.job, e.t)
+		}
+	}
+	if len(queue) > 0 || len(running) > 0 {
+		return nil, fmt.Errorf("sim: deadlock with %d queued and %d running jobs", len(queue), len(running))
+	}
+
+	res := &Result{Config: cfg, Records: records, Net: net.Stats(), NodeUtilization: net.NodeUtilization()}
+	var responses []float64
+	totalComps := 0
+	contig := 0
+	for _, r := range records {
+		responses = append(responses, r.Response)
+		totalComps += r.Components
+		if r.Contiguous {
+			contig++
+		}
+		if r.Finish > res.Makespan {
+			res.Makespan = r.Finish
+		}
+	}
+	res.MeanResponse = stats.Mean(responses)
+	res.MedianResponse = stats.Percentile(responses, 50)
+	if len(records) > 0 {
+		res.PctContiguous = 100 * float64(contig) / float64(len(records))
+		res.AvgComponents = float64(totalComps) / float64(len(records))
+	}
+	if lastAccount > 0 {
+		res.UtilizationPct = 100 * busyArea / (lastAccount * float64(m.Size()))
+		res.MeanQueueLen = queueArea / lastAccount
+	}
+	return res, nil
+}

@@ -1,0 +1,257 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same-seed RNGs diverge")
+		}
+	}
+}
+
+func TestExponentialMoments(t *testing.T) {
+	d := Exponential{MeanVal: 50}
+	if d.Mean() != 50 || d.CV() != 1 {
+		t.Fatalf("exponential moments: %g, %g", d.Mean(), d.CV())
+	}
+	assertSampleMoments(t, d, 0.05)
+}
+
+func TestHyperExp2Fit(t *testing.T) {
+	for _, tc := range []struct{ mean, cv float64 }{
+		{1301, 3.7}, {100, 1.0}, {10, 2.0}, {1e6, 5.5},
+	} {
+		d := NewHyperExp2(tc.mean, tc.cv)
+		if math.Abs(d.Mean()-tc.mean)/tc.mean > 1e-9 {
+			t.Errorf("fit mean = %g, want %g", d.Mean(), tc.mean)
+		}
+		if math.Abs(d.CV()-tc.cv)/tc.cv > 1e-9 {
+			t.Errorf("fit cv = %g, want %g", d.CV(), tc.cv)
+		}
+	}
+}
+
+func TestHyperExp2RejectsLowCV(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("cv < 1 should panic")
+		}
+	}()
+	NewHyperExp2(10, 0.5)
+}
+
+func TestHyperExp2Sampling(t *testing.T) {
+	assertSampleMoments(t, NewHyperExp2(1000, 3.0), 0.15)
+}
+
+func TestLognormalFit(t *testing.T) {
+	d := NewLognormal(10944, 1.13)
+	if math.Abs(d.Mean()-10944)/10944 > 1e-9 {
+		t.Errorf("lognormal mean = %g", d.Mean())
+	}
+	if math.Abs(d.CV()-1.13)/1.13 > 1e-9 {
+		t.Errorf("lognormal cv = %g", d.CV())
+	}
+	assertSampleMoments(t, d, 0.1)
+}
+
+// assertSampleMoments draws 200k samples and compares empirical moments
+// with the analytic ones within relative tolerance tol.
+func assertSampleMoments(t *testing.T, d Dist, tol float64) {
+	t.Helper()
+	g := NewRNG(99)
+	n := 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := d.Sample(g)
+		if x < 0 {
+			t.Fatal("negative sample")
+		}
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-d.Mean())/d.Mean() > tol {
+		t.Errorf("sample mean %g vs analytic %g", mean, d.Mean())
+	}
+	if math.Abs(sd/mean-d.CV())/d.CV() > tol+0.05 {
+		t.Errorf("sample cv %g vs analytic %g", sd/mean, d.CV())
+	}
+}
+
+func TestDiscreteDistMoments(t *testing.T) {
+	d := NewDiscreteDist([]int{1, 2, 4}, []float64{1, 1, 2})
+	// mean = (1 + 2 + 8)/4 = 2.75; E[X^2] = (1 + 4 + 32)/4 = 9.25.
+	if math.Abs(d.Mean()-2.75) > 1e-12 {
+		t.Fatalf("mean = %g", d.Mean())
+	}
+	wantCV := math.Sqrt(9.25-2.75*2.75) / 2.75
+	if math.Abs(d.CV()-wantCV) > 1e-12 {
+		t.Fatalf("cv = %g, want %g", d.CV(), wantCV)
+	}
+}
+
+func TestDiscreteDistSampling(t *testing.T) {
+	d := NewDiscreteDist([]int{3, 7}, []float64{0.25, 0.75})
+	g := NewRNG(1)
+	counts := map[int]int{}
+	for i := 0; i < 100000; i++ {
+		counts[d.SampleInt(g)]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("support hit = %v", counts)
+	}
+	frac := float64(counts[7]) / 100000
+	if math.Abs(frac-0.75) > 0.01 {
+		t.Fatalf("P(7) = %g, want 0.75", frac)
+	}
+}
+
+func TestDiscreteDistPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewDiscreteDist(nil, nil) },
+		func() { NewDiscreteDist([]int{1}, []float64{1, 2}) },
+		func() { NewDiscreteDist([]int{1}, []float64{-1}) },
+		func() { NewDiscreteDist([]int{1, 2}, []float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestDescriptiveBasics(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %g", got)
+	}
+	if got := StdDev(xs); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("StdDev = %g", got)
+	}
+	if got := CV(xs); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("CV = %g", got)
+	}
+	if Mean(nil) != 0 || Variance([]float64{1}) != 0 || CV(nil) != 0 {
+		t.Fatal("degenerate inputs should be zero")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	tests := []struct{ p, want float64 }{
+		{0, 10}, {100, 50}, {50, 30}, {25, 20}, {12.5, 15},
+	}
+	for _, tc := range tests {
+		if got := Percentile(xs, tc.p); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("P%g = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Pearson(xs, ys); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect correlation r = %g", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Pearson(xs, neg); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("perfect anticorrelation r = %g", got)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if got := Pearson(xs, flat); got != 0 {
+		t.Fatalf("constant series r = %g", got)
+	}
+}
+
+func TestPearsonPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch should panic")
+		}
+	}()
+	Pearson([]float64{1}, []float64{1, 2})
+}
+
+func TestLinReg(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7} // y = 1 + 2x
+	a, b := LinReg(xs, ys)
+	if math.Abs(a-1) > 1e-12 || math.Abs(b-2) > 1e-12 {
+		t.Fatalf("LinReg = %g + %g x", a, b)
+	}
+	a, b = LinReg([]float64{2, 2}, []float64{1, 5})
+	if a != 0 || b != 0 {
+		t.Fatal("constant x should give zero fit")
+	}
+}
+
+func TestPearsonBounds(t *testing.T) {
+	// Property: |r| <= 1 for any non-degenerate input pair.
+	f := func(raw []float64) bool {
+		if len(raw) < 4 {
+			return true
+		}
+		n := len(raw) / 2
+		xs, ys := raw[:n], raw[n:2*n]
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				return true
+			}
+		}
+		r := Pearson(xs, ys)
+		return r >= -1.0000001 && r <= 1.0000001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinXY(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	ys := []float64{0, 10, 20, 30, 40, 50, 60, 70, 80, 90}
+	bins := BinXY(xs, ys, 5)
+	if len(bins) != 5 {
+		t.Fatalf("%d bins", len(bins))
+	}
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 10 {
+		t.Fatalf("bins cover %d points", total)
+	}
+	// First bin holds x in [0, 1.8): points 0 and 1, mean y 5.
+	if bins[0].Count != 2 || bins[0].MeanY != 5 {
+		t.Fatalf("first bin = %+v", bins[0])
+	}
+	if BinXY(nil, nil, 3) != nil || BinXY(xs, ys, 0) != nil {
+		t.Fatal("degenerate binning should be nil")
+	}
+}
+
+func TestBinXYConstantX(t *testing.T) {
+	bins := BinXY([]float64{5, 5, 5}, []float64{1, 2, 3}, 4)
+	total := 0
+	for _, b := range bins {
+		total += b.Count
+	}
+	if total != 3 {
+		t.Fatalf("constant-x binning lost points: %v", bins)
+	}
+}

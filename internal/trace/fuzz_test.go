@@ -1,0 +1,65 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the plain-text trace parser never panics and that any
+// successfully-parsed trace is internally consistent and round-trips.
+func FuzzRead(f *testing.F) {
+	f.Add("100 4 50\n200 2 10\n")
+	f.Add("# comment\n\n1.5 1 0.25\n")
+	f.Add("x y z\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := Read(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		prev := -1.0
+		for i, j := range tr.Jobs {
+			if j.ID != i {
+				t.Fatalf("job %d has id %d", i, j.ID)
+			}
+			if j.Size <= 0 || j.Runtime < 0 {
+				t.Fatalf("invalid parsed job %+v", j)
+			}
+			if j.Arrival < prev {
+				t.Fatal("arrivals not sorted")
+			}
+			prev = j.Arrival
+		}
+		// Round trip: writing and re-reading preserves the job count.
+		var buf bytes.Buffer
+		if err := Write(&buf, tr); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if len(back.Jobs) != len(tr.Jobs) {
+			t.Fatalf("round trip lost jobs: %d vs %d", len(back.Jobs), len(tr.Jobs))
+		}
+	})
+}
+
+// FuzzReadSWF checks the SWF parser never panics and produces valid jobs.
+func FuzzReadSWF(f *testing.F) {
+	f.Add("; hdr\n1 100 5 3600 16 -1 -1 16 7200 -1 1 3 1 1 1 1 -1 -1\n")
+	f.Add("1 2 3 4 5 6 7 8\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadSWF(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		for _, j := range tr.Jobs {
+			if j.Size <= 0 || j.Runtime <= 0 || j.Arrival < 0 {
+				t.Fatalf("invalid swf job %+v", j)
+			}
+		}
+	})
+}

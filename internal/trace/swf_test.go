@@ -1,0 +1,62 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const swfSample = `; SDSC Paragon-style sample
+; Computer: Intel Paragon
+1 100 5 3600 16 -1 -1 16 7200 -1 1 3 1 1 1 1 -1 -1
+2 50 0 1800 -1 -1 -1 32 3600 -1 1 4 1 1 1 1 -1 -1
+3 200 9 -1 8 -1 -1 8 600 -1 0 5 1 1 1 1 -1 -1
+4 300 2 60 0 -1 -1 -1 60 -1 1 5 1 1 1 1 -1 -1
+5 400 1 120 4 -1 -1 4 240 -1 1 5 1 1 1 1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	tr, err := ReadSWF(strings.NewReader(swfSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 3 (runtime -1) and 4 (no valid size) are skipped; 3 remain.
+	if len(tr.Jobs) != 3 {
+		t.Fatalf("%d jobs, want 3", len(tr.Jobs))
+	}
+	// Sorted by submit and rebased: job with submit 50 first at 0.
+	if tr.Jobs[0].Arrival != 0 || tr.Jobs[0].Size != 32 {
+		t.Fatalf("first job = %+v (requested-processor fallback failed?)", tr.Jobs[0])
+	}
+	if tr.Jobs[1].Arrival != 50 || tr.Jobs[1].Size != 16 || tr.Jobs[1].Runtime != 3600 {
+		t.Fatalf("second job = %+v", tr.Jobs[1])
+	}
+	if tr.Jobs[2].Arrival != 350 || tr.Jobs[2].Size != 4 {
+		t.Fatalf("third job = %+v", tr.Jobs[2])
+	}
+	for i, j := range tr.Jobs {
+		if j.ID != i {
+			t.Fatal("jobs not renumbered")
+		}
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	for _, in := range []string{
+		"1 2 3\n", // too few fields
+		"1 x 5 3600 16 -1 -1 16 0 0 0 0 0 0 0 0 0 0\n", // bad submit
+		"1 10 5 y 16 -1 -1 16 0 0 0 0 0 0 0 0 0 0\n",   // bad runtime
+		"1 10 5 60 z -1 -1 16 0 0 0 0 0 0 0 0 0 0\n",   // bad procs
+		"1 10 5 60 0 -1 -1 w 0 0 0 0 0 0 0 0 0 0\n",    // bad fallback
+	} {
+		if _, err := ReadSWF(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadSWF(%q) should fail", in)
+		}
+	}
+}
+
+func TestReadSWFEmpty(t *testing.T) {
+	tr, err := ReadSWF(strings.NewReader("; only comments\n"))
+	if err != nil || len(tr.Jobs) != 0 {
+		t.Fatalf("empty swf: %v, %v", tr, err)
+	}
+}

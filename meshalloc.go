@@ -1,0 +1,87 @@
+// Package meshalloc is a trace-driven microsimulator for studying how
+// processor-allocation algorithms interact with job communication
+// patterns on space-shared 2-D-mesh parallel machines. It reproduces the
+// system of Leung, Bunde and Mache, "Communication Patterns and
+// Allocation Strategies" (SAND2003-4522 / IPPS 2004).
+//
+// The package is a facade over the implementation packages:
+//
+//   - allocation algorithms: Paging over space-filling curves (S-curve,
+//     Hilbert, H-indexing) with free-list / First Fit / Best Fit /
+//     Sum-of-Squares selection, the shell-scoring MC and MC1x1, Gen-Alg,
+//     and a random baseline;
+//   - communication patterns: all-to-all, n-body, random, ring,
+//     all-pairs ping-pong, and the CPlant test suite;
+//   - a flit-level-approximating wormhole network model of the mesh;
+//   - a synthetic SDSC-Paragon workload generator and trace I/O;
+//   - FCFS (and, as an extension, EASY backfilling) scheduling;
+//   - an experiment harness regenerating every figure in the paper.
+//
+// Quick start:
+//
+//	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 500, MaxSize: 352, Seed: 1})
+//	res, err := meshalloc.Run(meshalloc.Config{
+//		MeshW: 16, MeshH: 22,
+//		Alloc:   "hilbert/bestfit",
+//		Pattern: "nbody",
+//		Load:    0.6,
+//		TimeScale: 0.02,
+//	}, tr)
+package meshalloc
+
+import (
+	"meshalloc/internal/core"
+	"meshalloc/internal/sim"
+	"meshalloc/internal/trace"
+)
+
+// Config describes one simulation run; see the field documentation in
+// the sim package.
+type Config = sim.Config
+
+// Result is the outcome of one simulation run.
+type Result = sim.Result
+
+// JobRecord is the per-job outcome record.
+type JobRecord = sim.JobRecord
+
+// IssueMode selects phased or sequential message injection.
+type IssueMode = sim.IssueMode
+
+// Issue modes.
+const (
+	IssuePhased     = sim.IssuePhased
+	IssueSequential = sim.IssueSequential
+)
+
+// Trace is an arrival-ordered job stream.
+type Trace = trace.Trace
+
+// Job is one batch job of a trace.
+type Job = trace.Job
+
+// SDSCConfig parameterizes the synthetic SDSC Paragon workload.
+type SDSCConfig = trace.SDSCConfig
+
+// Figure is one reproduced paper figure.
+type Figure = core.Figure
+
+// ExperimentOptions scales the figure-reproduction experiments.
+type ExperimentOptions = core.Options
+
+// Run simulates tr under cfg. See sim.Run.
+func Run(cfg Config, tr *Trace) (*Result, error) { return sim.Run(cfg, tr) }
+
+// NewSDSCTrace synthesizes a workload with the SDSC Paragon's published
+// statistics. See trace.NewSDSC.
+func NewSDSCTrace(cfg SDSCConfig) *Trace { return trace.NewSDSC(cfg) }
+
+// Allocators returns the nine allocator specs evaluated in the paper's
+// response-time figures.
+func Allocators() []string { return allocSpecs() }
+
+// ReproduceFigure regenerates the paper figure with the given id ("1",
+// "6", "7", "8", "9", "10", "11").
+func ReproduceFigure(id string, o ExperimentOptions) (*Figure, error) {
+	return core.FigureByID(id, o)
+}

@@ -1,0 +1,31 @@
+package meshalloc
+
+import (
+	"meshalloc/internal/core"
+	"meshalloc/internal/metrics"
+)
+
+// Dispersal is the Mache–Lo allocation-quality metric family.
+type Dispersal = metrics.Dispersal
+
+// Fragmentation characterizes a machine state's free space.
+type Fragmentation = metrics.Fragmentation
+
+// MeasureDispersal computes the dispersal metrics of an allocation, e.g.
+// of a JobRecord's Nodes.
+func MeasureDispersal(m *Mesh, ids []int) Dispersal { return metrics.Measure(m, ids) }
+
+// MeasureFragmentation computes external fragmentation given the busy
+// processor ids of a machine state.
+func MeasureFragmentation(m *Mesh, busyIDs []int) Fragmentation {
+	return metrics.MeasureFragmentation(m, metrics.BusyMask(m, busyIDs))
+}
+
+// CheckResult is one verdict of the reproduction scorecard.
+type CheckResult = core.CheckResult
+
+// CheckReproduction runs the scaled experiments behind the paper's
+// headline claims and reports a pass/fail verdict per claim.
+func CheckReproduction(o ExperimentOptions) ([]CheckResult, error) {
+	return core.Check(o)
+}
