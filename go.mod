@@ -1,0 +1,3 @@
+module meshalloc
+
+go 1.24

@@ -262,6 +262,11 @@ func (t *tracker) check(size int) error {
 type MC struct {
 	tracker
 	oneByOne bool
+	// gatherBuf and bestBuf are persistent candidate scratch: gather fills
+	// gatherBuf, and when a candidate wins the two swap, so the steady
+	// state allocates only the returned slice.
+	gatherBuf []int
+	bestBuf   []int
 }
 
 // NewMC returns the shape-aware MC allocator.
@@ -291,49 +296,51 @@ func (a *MC) Allocate(req Request) ([]int, error) {
 		w, h = req.Shape()
 	}
 	bestCost := -1
-	var best []int
 	for center := 0; center < a.m.Size(); center++ {
 		if a.busy[center] {
 			continue
 		}
-		ids, cost := a.gather(a.m.Coord(center), w, h, req.Size)
-		if ids == nil {
+		cost, ok := a.gather(a.m.Coord(center), w, h, req.Size)
+		if !ok {
 			continue
 		}
 		if bestCost == -1 || cost < bestCost {
-			bestCost, best = cost, ids
+			bestCost = cost
+			a.bestBuf, a.gatherBuf = a.gatherBuf, a.bestBuf
 		}
 	}
-	if best == nil {
+	if bestCost == -1 {
 		return nil, ErrInsufficient
 	}
+	best := append([]int(nil), a.bestBuf...)
 	a.take(best)
 	return best, nil
 }
 
-// gather collects size free processors in shells around center and
-// returns them with the summed shell-weight cost, or (nil, 0) if the
-// shells run out before size processors are found.
-func (a *MC) gather(center mesh.Point, w, h, size int) ([]int, int) {
-	ids := make([]int, 0, size)
+// gather collects size free processors into a.gatherBuf in shells around
+// center and returns the summed shell-weight cost, or (0, false) if the
+// shells run out before size processors are found. The ShellEach walk
+// keeps the whole scoring loop free of intermediate buffers; the closure
+// stays on the stack because ShellEach does not retain it.
+func (a *MC) gather(center mesh.Point, w, h, size int) (int, bool) {
+	ids := a.gatherBuf[:0]
 	cost := 0
 	maxK := a.m.MaxShells(w, h)
 	for k := 0; k <= maxK && len(ids) < size; k++ {
-		for _, id := range a.m.Shell(center, w, h, k) {
+		a.m.ShellEach(center, w, h, k, func(id int) bool {
 			if a.busy[id] {
-				continue
+				return true
 			}
 			ids = append(ids, id)
 			cost += k
-			if len(ids) == size {
-				break
-			}
-		}
+			return len(ids) < size
+		})
 	}
+	a.gatherBuf = ids
 	if len(ids) < size {
-		return nil, 0
+		return 0, false
 	}
-	return ids, cost
+	return cost, true
 }
 
 // GenAlg is the (2-2/k)-approximation of Krumke et al. for minimizing
@@ -342,6 +349,13 @@ func (a *MC) gather(center mesh.Point, w, h, size int) ([]int, int) {
 // distance; the best-scoring set wins.
 type GenAlg struct {
 	tracker
+	// Persistent candidate scratch, as in MC: nearest fills nearBuf and
+	// the buffers swap when a candidate wins.
+	nearBuf []int
+	bestBuf []int
+	ringBuf []int
+	xsBuf   []int
+	ysBuf   []int
 }
 
 // NewGenAlg returns a Gen-Alg allocator over m.
@@ -356,30 +370,32 @@ func (a *GenAlg) Allocate(req Request) ([]int, error) {
 		return nil, err
 	}
 	bestDist := -1
-	var best []int
 	for center := 0; center < a.m.Size(); center++ {
 		if a.busy[center] {
 			continue
 		}
-		ids := a.nearest(center, req.Size)
-		d := totalPairwiseL1(a.m, ids)
+		a.nearest(center, req.Size)
+		d := a.totalPairwise(a.nearBuf)
 		if bestDist == -1 || d < bestDist {
-			bestDist, best = d, ids
+			bestDist = d
+			a.bestBuf, a.nearBuf = a.nearBuf, a.bestBuf
 		}
 	}
+	best := append([]int(nil), a.bestBuf...)
 	a.take(best)
 	return best, nil
 }
 
-// nearest returns the k free processors closest to center (inclusive),
-// gathered ring by Manhattan ring with row-major tie-breaking inside a
-// ring.
-func (a *GenAlg) nearest(center, k int) []int {
+// nearest fills a.nearBuf with the k free processors closest to center
+// (inclusive), gathered ring by Manhattan ring with row-major tie-breaking
+// inside a ring.
+func (a *GenAlg) nearest(center, k int) {
 	c := a.m.Coord(center)
-	ids := make([]int, 0, k)
+	ids := a.nearBuf[:0]
 	maxR := a.m.Width() + a.m.Height()
 	for r := 0; r <= maxR && len(ids) < k; r++ {
-		for _, id := range ring(a.m, c, r) {
+		a.ringBuf = appendRing(a.ringBuf[:0], a.m, c, r)
+		for _, id := range a.ringBuf {
 			if a.busy[id] {
 				continue
 			}
@@ -389,33 +405,57 @@ func (a *GenAlg) nearest(center, k int) []int {
 			}
 		}
 	}
-	return ids
+	a.nearBuf = ids
 }
 
 // ring returns the ids of mesh nodes at exactly Manhattan distance r from
 // c, in row-major order.
 func ring(m *mesh.Mesh, c mesh.Point, r int) []int {
+	return appendRing(nil, m, c, r)
+}
+
+// appendRing appends the ids of mesh nodes at exactly Manhattan distance r
+// from c to ids, in row-major order — the allocation-free variant of ring.
+func appendRing(ids []int, m *mesh.Mesh, c mesh.Point, r int) []int {
 	if r == 0 {
 		if m.Contains(c) {
-			return []int{m.ID(c)}
+			ids = append(ids, m.ID(c))
 		}
-		return nil
+		return ids
 	}
-	ids := make([]int, 0, 4*r)
-	emit := func(x, y int) {
-		if x >= 0 && x < m.Width() && y >= 0 && y < m.Height() {
-			ids = append(ids, m.ID(mesh.Point{X: x, Y: y}))
-		}
-	}
+	w, h := m.Width(), m.Height()
 	for dy := -r; dy <= r; dy++ {
 		y := c.Y + dy
+		if y < 0 || y >= h {
+			continue
+		}
 		dx := r - abs(dy)
-		emit(c.X-dx, y)
+		if x := c.X - dx; x >= 0 && x < w {
+			ids = append(ids, y*w+x)
+		}
 		if dx > 0 {
-			emit(c.X+dx, y)
+			if x := c.X + dx; x >= 0 && x < w {
+				ids = append(ids, y*w+x)
+			}
 		}
 	}
 	return ids
+}
+
+// totalPairwise computes the total pairwise hop distance of the node set
+// using the allocator's persistent axis workspace.
+func (a *GenAlg) totalPairwise(ids []int) int {
+	if a.m.Torus() {
+		return a.m.TotalPairwiseDist(ids)
+	}
+	xs, ys := a.xsBuf[:0], a.ysBuf[:0]
+	for _, id := range ids {
+		p := a.m.Coord(id)
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+	}
+	a.xsBuf, a.ysBuf = xs, ys
+	return sortedAxisSum(xs) + sortedAxisSum(ys)
 }
 
 // totalPairwiseL1 computes the total pairwise hop distance of the node
@@ -459,7 +499,8 @@ func abs(v int) int {
 // can be sanity-checked against.
 type Random struct {
 	tracker
-	rng *stats.RNG
+	rng     *stats.RNG
+	freeBuf []int // persistent scratch for the shuffled free list
 }
 
 // NewRandom returns a Random allocator seeded with seed.
@@ -475,12 +516,13 @@ func (a *Random) Allocate(req Request) ([]int, error) {
 	if err := a.check(req.Size); err != nil {
 		return nil, err
 	}
-	free := make([]int, 0, a.numFree)
+	free := a.freeBuf[:0]
 	for id, b := range a.busy {
 		if !b {
 			free = append(free, id)
 		}
 	}
+	a.freeBuf = free
 	a.rng.Shuffle(len(free), func(i, j int) { free[i], free[j] = free[j], free[i] })
 	ids := append([]int(nil), free[:req.Size]...)
 	sort.Ints(ids)

@@ -102,6 +102,10 @@ type Packer struct {
 	numFree int
 	// nextStart remembers where NextFit resumes scanning.
 	nextStart int
+	// ivsBuf and ranksBuf are persistent per-Allocate workspaces so the
+	// steady state allocates only the returned id slice.
+	ivsBuf   []Interval
+	ranksBuf []int
 }
 
 // New returns a Packer over the given curve order (a permutation of node
@@ -144,7 +148,12 @@ func (p *Packer) Reset() {
 
 // Intervals returns the current maximal free intervals in rank order.
 func (p *Packer) Intervals() []Interval {
-	var ivs []Interval
+	return p.appendIntervals(nil)
+}
+
+// appendIntervals appends the current maximal free intervals to ivs in
+// rank order.
+func (p *Packer) appendIntervals(ivs []Interval) []Interval {
 	i := 0
 	for i < len(p.free) {
 		if !p.free[i] {
@@ -214,27 +223,32 @@ func (p *Packer) Release(ids []int) {
 	p.numFree += len(ids)
 }
 
-// prefixRanks returns the first size free ranks (sorted free list).
+// prefixRanks returns the first size free ranks (sorted free list) in the
+// persistent rank workspace; the result is only valid until the next
+// Allocate call.
 func (p *Packer) prefixRanks(size int) []int {
-	ranks := make([]int, 0, size)
+	ranks := p.ranksBuf[:0]
 	for r := 0; r < len(p.free) && len(ranks) < size; r++ {
 		if p.free[r] {
 			ranks = append(ranks, r)
 		}
 	}
+	p.ranksBuf = ranks
 	return ranks
 }
 
 // fitRanks serves a request from the interval chosen by pick, falling
-// back to the minimal-span window when no interval is large enough.
+// back to the minimal-span window when no interval is large enough. Like
+// prefixRanks it returns a view of the persistent rank workspace.
 func (p *Packer) fitRanks(size int, pick func([]Interval, int) int) []int {
-	ivs := p.Intervals()
-	if idx := pick(ivs, size); idx >= 0 {
-		iv := ivs[idx]
-		ranks := make([]int, size)
-		for i := range ranks {
-			ranks[i] = iv.Start + i
+	p.ivsBuf = p.appendIntervals(p.ivsBuf[:0])
+	if idx := pick(p.ivsBuf, size); idx >= 0 {
+		iv := p.ivsBuf[idx]
+		ranks := p.ranksBuf[:0]
+		for i := 0; i < size; i++ {
+			ranks = append(ranks, iv.Start+i)
 		}
+		p.ranksBuf = ranks
 		return ranks
 	}
 	return p.minSpanRanks(size)

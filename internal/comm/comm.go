@@ -66,6 +66,50 @@ func All() []string {
 	return []string{"alltoall", "nbody", "random", "ring", "pingpong", "testsuite", "mixed"}
 }
 
+// Cached wraps a deterministic pattern with a per-size schedule memo:
+// every job of p processors shares one immutable phase table instead of
+// rebuilding it (for all-to-all, p*(p-1) messages of garbage per job).
+// Only patterns on an explicit allowlist are wrapped — a pattern must be
+// known to produce the same schedule for every job of a size — so any
+// other pattern, including future additions to ByName, passes through
+// unwrapped and merely misses the optimization rather than replaying one
+// job's random stream. Generators remain independently iterable; only
+// the read-only schedule is shared. The wrapper is not safe for
+// concurrent Generator calls, matching the Pattern contract.
+func Cached(pat Pattern) Pattern {
+	switch pat.(type) {
+	case AllToAll, NBody, Ring, PingPong, TestSuite:
+		return &cachedPattern{pat: pat, bySize: map[int][][]Msg{}}
+	}
+	return pat
+}
+
+type cachedPattern struct {
+	pat    Pattern
+	bySize map[int][][]Msg
+}
+
+// Name implements Pattern.
+func (c *cachedPattern) Name() string { return c.pat.Name() }
+
+// Generator implements Pattern.
+func (c *cachedPattern) Generator(p int, rng *stats.RNG) Generator {
+	checkSize(p)
+	phases, ok := c.bySize[p]
+	if !ok {
+		gen := c.pat.Generator(p, rng)
+		it, isPhase := gen.(*phaseIter)
+		if !isPhase {
+			// An allowlisted pattern grew a non-schedule generator;
+			// degrade to pass-through rather than guessing.
+			return gen
+		}
+		phases = it.phases
+		c.bySize[p] = phases
+	}
+	return &phaseIter{phases: phases}
+}
+
 // phaseIter drives a fixed per-round message schedule: rounds of phases of
 // messages, repeated forever.
 type phaseIter struct {

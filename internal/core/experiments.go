@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"meshalloc/internal/alloc"
 	"meshalloc/internal/sim"
@@ -226,12 +227,10 @@ func Fig11(o Options) (*Figure, error) {
 	for _, a := range specs {
 		rows = append(rows, row{spec: a, pct: results[a].PctContiguous, avg: results[a].AvgComponents})
 	}
-	// The paper sorts by percent contiguous, descending.
-	for i := 1; i < len(rows); i++ {
-		for j := i; j > 0 && rows[j].pct > rows[j-1].pct; j-- {
-			rows[j], rows[j-1] = rows[j-1], rows[j]
-		}
-	}
+	// The paper sorts by percent contiguous, descending. SliceStable keeps
+	// the spec order of Fig11Specs for ties, matching the previous
+	// insertion sort.
+	sort.SliceStable(rows, func(i, j int) bool { return rows[i].pct > rows[j].pct })
 	t := Table{Columns: []string{"Algorithm", "% contiguous", "Ave. components"}}
 	for _, r := range rows {
 		t.Rows = append(t.Rows, []string{r.spec, fmt.Sprintf("%.1f%%", r.pct), fmt.Sprintf("%.2f", r.avg)})

@@ -82,10 +82,13 @@ func (m *Mesh) Contains(p Point) bool {
 }
 
 // ID maps a coordinate to its dense row-major id. It panics if p is off the
-// mesh.
+// mesh. The panic messages here and in Coord are constant strings rather
+// than formatted ones: both functions sit on every hot path of the
+// simulator and a fmt call — even an unreached one — would push them past
+// the compiler's inlining budget.
 func (m *Mesh) ID(p Point) int {
 	if !m.Contains(p) {
-		panic(fmt.Sprintf("mesh: point %v outside %dx%d mesh", p, m.width, m.height))
+		panic("mesh: ID of point outside the mesh")
 	}
 	return p.Y*m.width + p.X
 }
@@ -93,8 +96,8 @@ func (m *Mesh) ID(p Point) int {
 // Coord maps a dense id back to its coordinate. It panics on out-of-range
 // ids.
 func (m *Mesh) Coord(id int) Point {
-	if id < 0 || id >= m.Size() {
-		panic(fmt.Sprintf("mesh: id %d outside %dx%d mesh", id, m.width, m.height))
+	if id < 0 || id >= m.width*m.height {
+		panic("mesh: Coord of id outside the mesh")
 	}
 	return Point{X: id % m.width, Y: id / m.width}
 }
@@ -227,58 +230,93 @@ func (m *Mesh) Neighbor(id int, d Direction) (int, bool) {
 // y hops, exactly as Paragon-/CPlant-style mesh routers forward wormhole
 // packets. An empty slice means src == dst.
 func (m *Mesh) Route(src, dst int) []Link {
-	return m.routeDimOrdered(src, dst, true)
+	return m.AppendRoute(make([]Link, 0, m.Dist(src, dst)), src, dst)
 }
 
 // RouteYX returns the y-x dimension-ordered route (all y hops first), the
 // alternative deterministic routing used for routing-sensitivity studies.
 func (m *Mesh) RouteYX(src, dst int) []Link {
-	return m.routeDimOrdered(src, dst, false)
+	return m.AppendRouteYX(make([]Link, 0, m.Dist(src, dst)), src, dst)
 }
 
-func (m *Mesh) routeDimOrdered(src, dst int, xFirst bool) []Link {
-	s, d := m.Coord(src), m.Coord(dst)
-	links := make([]Link, 0, m.Dist(src, dst))
-	cur := s
-	// axisDir picks the traversal direction along one axis; on a torus
-	// it takes the shorter way around (positive on ties).
-	axisDir := func(from, to, extent int, pos, neg Direction) Direction {
-		if !m.torus {
-			if to > from {
-				return pos
-			}
-			return neg
-		}
-		forward := ((to - from) + extent) % extent
-		if forward <= extent-forward {
+// AppendRoute appends the x-y dimension-ordered route from src to dst to
+// links and returns the extended slice. It is the allocation-free variant
+// of Route for callers that reuse a scratch buffer per message.
+func (m *Mesh) AppendRoute(links []Link, src, dst int) []Link {
+	return m.appendRouteDimOrdered(links, src, dst, true)
+}
+
+// AppendRouteYX is AppendRoute for y-x dimension-ordered routing.
+func (m *Mesh) AppendRouteYX(links []Link, src, dst int) []Link {
+	return m.appendRouteDimOrdered(links, src, dst, false)
+}
+
+func (m *Mesh) appendRouteDimOrdered(links []Link, src, dst int, xFirst bool) []Link {
+	cur, d := m.Coord(src), m.Coord(dst)
+	if xFirst {
+		links = m.appendXHops(links, &cur, d.X)
+		links = m.appendYHops(links, &cur, d.Y)
+	} else {
+		links = m.appendYHops(links, &cur, d.Y)
+		links = m.appendXHops(links, &cur, d.X)
+	}
+	return links
+}
+
+// axisDir picks the traversal direction along one axis; on a torus it
+// takes the shorter way around (positive on ties).
+func (m *Mesh) axisDir(from, to, extent int, pos, neg Direction) Direction {
+	if !m.torus {
+		if to > from {
 			return pos
 		}
 		return neg
 	}
-	advance := func(dir Direction) {
-		links = append(links, Link{From: m.ID(cur), Dir: dir})
-		next, ok := m.Neighbor(m.ID(cur), dir)
-		if !ok {
-			panic(fmt.Sprintf("mesh: route left the mesh at %v going %v", cur, dir))
-		}
-		cur = m.Coord(next)
+	forward := ((to - from) + extent) % extent
+	if forward <= extent-forward {
+		return pos
 	}
-	stepX := func() {
-		for cur.X != d.X {
-			advance(axisDir(cur.X, d.X, m.width, XPos, XNeg))
+	return neg
+}
+
+// appendXHops walks cur along the x axis to the target column, appending
+// the links traversed.
+func (m *Mesh) appendXHops(links []Link, cur *Point, target int) []Link {
+	for cur.X != target {
+		dir := m.axisDir(cur.X, target, m.width, XPos, XNeg)
+		links = append(links, Link{From: m.ID(*cur), Dir: dir})
+		if dir == XPos {
+			cur.X++
+			if cur.X == m.width {
+				cur.X = 0
+			}
+		} else {
+			cur.X--
+			if cur.X < 0 {
+				cur.X = m.width - 1
+			}
 		}
 	}
-	stepY := func() {
-		for cur.Y != d.Y {
-			advance(axisDir(cur.Y, d.Y, m.height, YPos, YNeg))
+	return links
+}
+
+// appendYHops walks cur along the y axis to the target row, appending the
+// links traversed.
+func (m *Mesh) appendYHops(links []Link, cur *Point, target int) []Link {
+	for cur.Y != target {
+		dir := m.axisDir(cur.Y, target, m.height, YPos, YNeg)
+		links = append(links, Link{From: m.ID(*cur), Dir: dir})
+		if dir == YPos {
+			cur.Y++
+			if cur.Y == m.height {
+				cur.Y = 0
+			}
+		} else {
+			cur.Y--
+			if cur.Y < 0 {
+				cur.Y = m.height - 1
+			}
 		}
-	}
-	if xFirst {
-		stepX()
-		stepY()
-	} else {
-		stepY()
-		stepX()
 	}
 	return links
 }
@@ -306,7 +344,13 @@ func (s Submesh) Area() int { return s.W * s.H }
 // order. Parts of the submesh hanging off the mesh are skipped, which is
 // how MC evaluates candidate allocations near mesh edges.
 func (m *Mesh) Nodes(s Submesh) []int {
-	ids := make([]int, 0, s.Area())
+	return m.AppendNodes(make([]int, 0, s.Area()), s)
+}
+
+// AppendNodes appends the ids of the submesh's on-mesh nodes to ids in
+// row-major order and returns the extended slice — the allocation-free
+// variant of Nodes.
+func (m *Mesh) AppendNodes(ids []int, s Submesh) []int {
 	for y := s.Origin.Y; y < s.Origin.Y+s.H; y++ {
 		for x := s.Origin.X; x < s.Origin.X+s.W; x++ {
 			p := Point{x, y}
@@ -334,8 +378,19 @@ func (m *Mesh) Shell(c Point, w, h, k int) []int {
 		return m.Nodes(CenteredSubmesh(c, w, h))
 	}
 	outer := CenteredSubmesh(c, w+2*k, h+2*k)
+	return m.AppendShell(make([]int, 0, 2*(outer.W+outer.H)), c, w, h, k)
+}
+
+// AppendShell appends the ids of shell k around the W x H submesh centered
+// on c to ids and returns the extended slice. It is the allocation-free
+// variant of Shell: MC-style shell scoring reuses one scratch slice per
+// allocator instead of allocating a fresh ring per candidate.
+func (m *Mesh) AppendShell(ids []int, c Point, w, h, k int) []int {
+	if k == 0 {
+		return m.AppendNodes(ids, CenteredSubmesh(c, w, h))
+	}
+	outer := CenteredSubmesh(c, w+2*k, h+2*k)
 	inner := CenteredSubmesh(c, w+2*(k-1), h+2*(k-1))
-	ids := make([]int, 0, 2*(outer.W+outer.H))
 	for y := outer.Origin.Y; y < outer.Origin.Y+outer.H; y++ {
 		for x := outer.Origin.X; x < outer.Origin.X+outer.W; x++ {
 			p := Point{x, y}
@@ -346,6 +401,30 @@ func (m *Mesh) Shell(c Point, w, h, k int) []int {
 		}
 	}
 	return ids
+}
+
+// ShellEach calls fn with the id of every on-mesh node of shell k in
+// row-major order, stopping early when fn returns false. It reports
+// whether the walk ran to completion. It is the index-callback variant of
+// Shell for callers that do not need the ids materialized at all.
+func (m *Mesh) ShellEach(c Point, w, h, k int, fn func(id int) bool) bool {
+	outer := CenteredSubmesh(c, w+2*k, h+2*k)
+	inner := Submesh{}
+	if k > 0 {
+		inner = CenteredSubmesh(c, w+2*(k-1), h+2*(k-1))
+	}
+	for y := outer.Origin.Y; y < outer.Origin.Y+outer.H; y++ {
+		for x := outer.Origin.X; x < outer.Origin.X+outer.W; x++ {
+			p := Point{x, y}
+			if (k > 0 && inner.Contains(p)) || !m.Contains(p) {
+				continue
+			}
+			if !fn(m.ID(p)) {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // MaxShells returns an upper bound on the number of shells needed to cover
@@ -369,11 +448,13 @@ func (m *Mesh) Components(ids []int) [][]int {
 	if len(ids) == 0 {
 		return nil
 	}
-	in := make(map[int]bool, len(ids))
+	// Dense membership bitmaps beat maps here: ids are bounded by the mesh
+	// size and Components runs once per finished job.
+	in := make([]bool, m.Size())
 	for _, id := range ids {
 		in[id] = true
 	}
-	seen := make(map[int]bool, len(ids))
+	seen := make([]bool, m.Size())
 	var comps [][]int
 	sorted := append([]int(nil), ids...)
 	sort.Ints(sorted)

@@ -141,6 +141,11 @@ type Network struct {
 	busyTime []float64 // per directed link: accumulated service time
 	stats    Stats
 	clock    float64 // latest Send time, for the monotonicity check
+	// routeBuf and altBuf are persistent route scratch so steady-state
+	// Send is allocation-free; altBuf holds the alternative candidate
+	// under adaptive routing.
+	routeBuf []mesh.Link
+	altBuf   []mesh.Link
 }
 
 // New returns a network over m with the given configuration. It panics on
@@ -150,11 +155,14 @@ func New(m *mesh.Mesh, cfg Config) *Network {
 	if cfg.MessageFlits <= 0 || cfg.FlitCycle < 0 || cfg.HopLatency < 0 || cfg.LocalDelay < 0 {
 		panic(fmt.Sprintf("netsim: invalid config %+v", cfg))
 	}
+	maxRoute := m.Width() + m.Height()
 	return &Network{
 		m:        m,
 		cfg:      cfg,
 		freeAt:   make([]float64, m.NumLinks()),
 		busyTime: make([]float64, m.NumLinks()),
+		routeBuf: make([]mesh.Link, 0, maxRoute),
+		altBuf:   make([]mesh.Link, 0, maxRoute),
 	}
 }
 
@@ -212,21 +220,23 @@ func (n *Network) Send(src, dst int, t float64) Result {
 	return Result{Arrival: arrival, Hops: len(route), Queued: queued}
 }
 
-// pickRoute returns the links a message injected at time t will take.
+// pickRoute returns the links a message injected at time t will take. The
+// returned slice aliases the network's route scratch and is only valid
+// until the next Send.
 func (n *Network) pickRoute(src, dst int, t float64) []mesh.Link {
 	switch n.cfg.Routing {
 	case RouteYX:
-		return n.m.RouteYX(src, dst)
+		n.routeBuf = n.m.AppendRouteYX(n.routeBuf[:0], src, dst)
 	case RouteAdaptive:
-		xy := n.m.Route(src, dst)
-		yx := n.m.RouteYX(src, dst)
-		if n.routeWait(yx, t) < n.routeWait(xy, t) {
-			return yx
+		n.routeBuf = n.m.AppendRoute(n.routeBuf[:0], src, dst)
+		n.altBuf = n.m.AppendRouteYX(n.altBuf[:0], src, dst)
+		if n.routeWait(n.altBuf, t) < n.routeWait(n.routeBuf, t) {
+			return n.altBuf
 		}
-		return xy
 	default:
-		return n.m.Route(src, dst)
+		n.routeBuf = n.m.AppendRoute(n.routeBuf[:0], src, dst)
 	}
+	return n.routeBuf
 }
 
 // routeWait estimates the queueing a message would see on a route if its

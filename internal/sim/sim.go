@@ -15,7 +15,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -178,18 +177,62 @@ func sortedCopy(ids []int) []int {
 	return out
 }
 
+// eventHeap is a hand-rolled binary min-heap of events ordered by (t,
+// seq). container/heap would box every pushed and popped event into an
+// interface — one garbage allocation per simulated event, right on the
+// hottest loop of the simulator — so the sift operations are written out
+// against the concrete slice instead.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].t != h[j].t {
 		return h[i].t < h[j].t
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the job pointer so the pool can recycle it
+	*h = s[:n]
+	s = s[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
 
 type runningJob struct {
 	job      trace.Job
@@ -231,6 +274,8 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Same-size jobs share one immutable phase schedule for the run.
+	pattern = comm.Cached(pattern)
 	policy, err := sched.ByName(cfg.Scheduler)
 	if err != nil {
 		return nil, err
@@ -241,11 +286,12 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	scaled := tr.ScaleLoad(cfg.Load).ScaleTime(cfg.TimeScale)
 
 	var (
-		events  eventHeap
+		events  = make(eventHeap, 0, len(scaled.Jobs)+64)
 		seq     int64
-		queue   []trace.Job // FCFS arrival order
+		queue   = make([]trace.Job, 0, len(scaled.Jobs)) // FCFS arrival order
 		running = map[*runningJob]bool{}
 		records = make([]JobRecord, 0, len(scaled.Jobs))
+		rjPool  []*runningJob // recycled runningJob structs
 
 		// Time-weighted occupancy accounting.
 		busyProcs   int
@@ -263,12 +309,11 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	push := func(e event) {
 		e.seq = seq
 		seq++
-		heap.Push(&events, e)
+		events.push(e)
 	}
 	for i := range scaled.Jobs {
 		push(event{t: scaled.Jobs[i].Arrival, kind: kindArrival, idx: i})
 	}
-	heap.Init(&events)
 
 	quotaOf := func(j trace.Job) int64 {
 		q := int64(math.Round(j.Runtime * cfg.MsgsPerSecond))
@@ -279,6 +324,12 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	}
 
 	_, isFCFS := policy.(sched.FCFS)
+	// pendBuf and runBuf are persistent scratch for the non-FCFS policy
+	// path, refilled per trySchedule round.
+	var (
+		pendBuf []sched.Pending
+		runBuf  []sched.Running
+	)
 	// trySchedule starts every job the policy allows at time now.
 	trySchedule := func(now float64) {
 		for {
@@ -290,15 +341,15 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 					pick = 0
 				}
 			} else {
-				pend := make([]sched.Pending, len(queue))
-				for i, j := range queue {
-					pend[i] = sched.Pending{Size: j.Size, EstRuntime: j.Runtime}
+				pendBuf = pendBuf[:0]
+				for _, j := range queue {
+					pendBuf = append(pendBuf, sched.Pending{Size: j.Size, EstRuntime: j.Runtime})
 				}
-				runInfo := make([]sched.Running, 0, len(running))
+				runBuf = runBuf[:0]
 				for rj := range running {
-					runInfo = append(runInfo, sched.Running{Size: rj.job.Size, EstEnd: rj.estEnd})
+					runBuf = append(runBuf, sched.Running{Size: rj.job.Size, EstEnd: rj.estEnd})
 				}
-				pick = policy.Pick(pend, now, allocator.NumFree(), runInfo)
+				pick = policy.Pick(pendBuf, now, allocator.NumFree(), runBuf)
 			}
 			if pick < 0 {
 				return
@@ -317,7 +368,13 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 					allocator.Name(), job.Size, allocator.NumFree(), err))
 			}
 			queue = append(queue[:pick], queue[pick+1:]...)
-			rj := &runningJob{
+			var rj *runningJob
+			if n := len(rjPool); n > 0 {
+				rj, rjPool = rjPool[n-1], rjPool[:n-1]
+			} else {
+				rj = new(runningJob)
+			}
+			*rj = runningJob{
 				job:     job,
 				nodes:   nodes,
 				gen:     pattern.Generator(job.Size, rng),
@@ -364,6 +421,10 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 			rec.AvgMsgDist = float64(rj.hops) / float64(rj.sent)
 		}
 		records = append(records, rec)
+		// The finish event was the job's last reference; recycle the
+		// struct for a later arrival.
+		*rj = runningJob{}
+		rjPool = append(rjPool, rj)
 		trySchedule(end)
 	}
 
@@ -412,8 +473,8 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 		push(event{t: maxArr, kind: kindStep, job: rj})
 	}
 
-	for events.Len() > 0 {
-		e := heap.Pop(&events).(event)
+	for len(events) > 0 {
+		e := events.pop()
 		account(e.t)
 		switch e.kind {
 		case kindArrival:
@@ -430,7 +491,7 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	}
 
 	res := &Result{Config: cfg, Records: records, Net: net.Stats(), NodeUtilization: net.NodeUtilization()}
-	var responses []float64
+	responses := make([]float64, 0, len(records))
 	totalComps := 0
 	contig := 0
 	for _, r := range records {

@@ -1,0 +1,124 @@
+// Allocation-regression guards for the simulator's steady-state hot
+// paths. The grid experiments spend their time in shell scoring and
+// message sends; these tests pin the zero-allocation refactor of those
+// paths so a future change cannot silently reintroduce per-candidate or
+// per-message garbage. See DESIGN.md ("Zero-allocation hot paths").
+package meshalloc
+
+import (
+	"testing"
+
+	"meshalloc/internal/alloc"
+	"meshalloc/internal/mesh"
+	"meshalloc/internal/netsim"
+)
+
+// TestShellIterationZeroAlloc pins mesh shell walking (the inner loop of
+// MC's candidate scoring) at zero allocations when the caller reuses a
+// scratch buffer.
+func TestShellIterationZeroAlloc(t *testing.T) {
+	m := mesh.New(16, 22)
+	buf := make([]int, 0, m.Size())
+	center := mesh.Point{X: 8, Y: 11}
+	n := testing.AllocsPerRun(200, func() {
+		for k := 0; k <= 8; k++ {
+			buf = m.AppendShell(buf[:0], center, 4, 4, k)
+		}
+	})
+	if n != 0 {
+		t.Fatalf("AppendShell iteration allocates %.1f objects/run, want 0", n)
+	}
+}
+
+// TestShellEachZeroAlloc pins the index-callback variant at zero
+// allocations, including the closure itself.
+func TestShellEachZeroAlloc(t *testing.T) {
+	m := mesh.New(16, 22)
+	center := mesh.Point{X: 3, Y: 20}
+	sum := 0
+	n := testing.AllocsPerRun(200, func() {
+		for k := 0; k <= 8; k++ {
+			m.ShellEach(center, 4, 4, k, func(id int) bool {
+				sum += id
+				return true
+			})
+		}
+	})
+	if n != 0 {
+		t.Fatalf("ShellEach iteration allocates %.1f objects/run, want 0", n)
+	}
+	_ = sum
+}
+
+// TestRouteAppendZeroAlloc pins dimension-ordered route construction into
+// a reused buffer at zero allocations.
+func TestRouteAppendZeroAlloc(t *testing.T) {
+	m := mesh.New(16, 22)
+	buf := make([]mesh.Link, 0, m.Width()+m.Height())
+	n := testing.AllocsPerRun(200, func() {
+		buf = m.AppendRoute(buf[:0], 0, m.Size()-1)
+		buf = m.AppendRouteYX(buf[:0], m.Size()-1, 3)
+	})
+	if n != 0 {
+		t.Fatalf("AppendRoute allocates %.1f objects/run, want 0", n)
+	}
+}
+
+// TestNetworkSendZeroAlloc pins steady-state netsim.Send — the
+// per-message path of every simulation — at zero allocations, for each
+// routing mode.
+func TestNetworkSendZeroAlloc(t *testing.T) {
+	for _, r := range []netsim.Routing{netsim.RouteXY, netsim.RouteYX, netsim.RouteAdaptive} {
+		t.Run(r.String(), func(t *testing.T) {
+			m := mesh.New(16, 22)
+			cfg := netsim.DefaultConfig()
+			cfg.Routing = r
+			net := netsim.New(m, cfg)
+			clock := 0.0
+			src := 0
+			n := testing.AllocsPerRun(500, func() {
+				net.Send(src%m.Size(), (src*7+13)%m.Size(), clock)
+				src++
+				clock++
+			})
+			if n != 0 {
+				t.Fatalf("Send(%s) allocates %.1f objects/run, want 0", r, n)
+			}
+		})
+	}
+}
+
+// TestAllocatorSteadyStateAllocs pins each allocator's Allocate/Release
+// cycle at exactly one allocation: the returned id slice, which the
+// caller owns for the lifetime of the job and which therefore cannot be
+// recycled. Everything else (shell scoring, ring gathering, bin-pack
+// interval scans, free-list shuffles) must run in persistent scratch.
+func TestAllocatorSteadyStateAllocs(t *testing.T) {
+	m := mesh.New(16, 22)
+	for _, spec := range append(alloc.Specs(), "random") {
+		t.Run(spec, func(t *testing.T) {
+			a, err := alloc.Spec(m, spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Warm the scratch buffers past their high-water mark.
+			for i := 0; i < 3; i++ {
+				ids, err := a.Allocate(alloc.Request{Size: 16})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Release(ids)
+			}
+			n := testing.AllocsPerRun(100, func() {
+				ids, err := a.Allocate(alloc.Request{Size: 16})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Release(ids)
+			})
+			if n > 1 {
+				t.Fatalf("%s Allocate+Release allocates %.1f objects/run, want <= 1 (the returned slice)", spec, n)
+			}
+		})
+	}
+}
