@@ -22,7 +22,7 @@ type AllocRequest = alloc.Request
 // NewAllocator builds the allocator named by spec ("mc", "mc1x1",
 // "genalg", "random", "<curve>", or "<curve>/<strategy>") over m.
 func NewAllocator(m *Mesh, spec string, seed int64) (Allocator, error) {
-	return alloc.Spec(m, spec, seed)
+	return alloc.Spec(m.Grid(), spec, seed)
 }
 
 func allocSpecs() []string { return alloc.Specs() }

@@ -8,7 +8,11 @@
 package meshalloc
 
 import (
+	"encoding/json"
 	"fmt"
+	"os"
+	"sort"
+	"sync"
 	"testing"
 
 	"meshalloc/internal/alloc"
@@ -18,8 +22,75 @@ import (
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/netsim"
 	"meshalloc/internal/sim"
+	"meshalloc/internal/topo"
 	"meshalloc/internal/trace"
 )
+
+// reportMetric forwards a headline metric to the bench framework and,
+// when the BENCH_JSON environment variable names a file, to the JSON
+// collector flushed by TestMain — the machine-readable counterpart of
+// the `go test -bench` table (see BENCH.md).
+func reportMetric(b *testing.B, unit string, v float64) {
+	b.Helper()
+	b.ReportMetric(v, unit)
+	recordMetric(b.Name(), unit, v)
+}
+
+// benchEntry is one (benchmark, metric) observation in BENCH_JSON.
+type benchEntry struct {
+	Benchmark string  `json:"benchmark"`
+	Metric    string  `json:"metric"`
+	Value     float64 `json:"value"`
+}
+
+var benchJSON struct {
+	mu      sync.Mutex
+	entries []benchEntry
+}
+
+func recordMetric(name, unit string, v float64) {
+	benchJSON.mu.Lock()
+	defer benchJSON.mu.Unlock()
+	// Benches report once per b.N iteration; keep the latest value per
+	// (benchmark, metric) so reruns overwrite instead of duplicating.
+	for i := range benchJSON.entries {
+		if benchJSON.entries[i].Benchmark == name && benchJSON.entries[i].Metric == unit {
+			benchJSON.entries[i].Value = v
+			return
+		}
+	}
+	benchJSON.entries = append(benchJSON.entries, benchEntry{Benchmark: name, Metric: unit, Value: v})
+}
+
+// TestMain flushes collected bench metrics to the file named by
+// BENCH_JSON (e.g. BENCH_2.json) after the run:
+//
+//	BENCH_JSON=BENCH_2.json go test -run '^$' -bench 'Fig|Ablation|ExtContiguous|Cube3D' -benchtime 1x .
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if path := os.Getenv("BENCH_JSON"); path != "" {
+		benchJSON.mu.Lock()
+		entries := benchJSON.entries
+		benchJSON.mu.Unlock()
+		if len(entries) > 0 {
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].Benchmark != entries[j].Benchmark {
+					return entries[i].Benchmark < entries[j].Benchmark
+				}
+				return entries[i].Metric < entries[j].Metric
+			})
+			out, err := json.MarshalIndent(entries, "", "  ")
+			if err == nil {
+				err = os.WriteFile(path, append(out, '\n'), 0o644)
+			}
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "bench json:", err)
+				code = 1
+			}
+		}
+	}
+	os.Exit(code)
+}
 
 // benchOpt is the reduced experiment scale used by the figure benches.
 func benchOpt() core.Options {
@@ -73,8 +144,8 @@ func benchResponseFigure(b *testing.B, w, h int, pattern string) {
 				worst, worstY = spec, res.MeanResponse
 			}
 		}
-		b.ReportMetric(bestY, "best_resp_s")
-		b.ReportMetric(worstY, "worst_resp_s")
+		reportMetric(b, "best_resp_s", bestY)
+		reportMetric(b, "worst_resp_s", worstY)
 		if i == 0 {
 			b.Logf("%s %dx%d: best %s (%.0f s), worst %s (%.0f s)", pattern, w, h, best, bestY, worst, worstY)
 		}
@@ -119,7 +190,7 @@ func BenchmarkFig11Contiguity(b *testing.B) {
 		// Top row's contiguity percentage.
 		var pct float64
 		fmt.Sscanf(fig.Tables[0].Rows[0][1], "%g%%", &pct)
-		b.ReportMetric(pct, "top_pct_contig")
+		reportMetric(b, "top_pct_contig", pct)
 	}
 }
 
@@ -129,7 +200,7 @@ func reportPearson(b *testing.B, fig *core.Figure) {
 		var r float64
 		if i := indexOf(n, "Pearson r = "); i >= 0 {
 			if _, err := fmt.Sscanf(n[i:], "Pearson r = %g", &r); err == nil {
-				b.ReportMetric(r, "pearson_r")
+				reportMetric(b, "pearson_r", r)
 				return
 			}
 		}
@@ -168,7 +239,7 @@ func BenchmarkAblationIssueMode(b *testing.B) {
 		b.Run(mode.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				y := ablationRun(b, func(c *sim.Config) { c.Issue = mode })
-				b.ReportMetric(y, "mean_resp_s")
+				reportMetric(b, "mean_resp_s", y)
 			}
 		})
 	}
@@ -179,7 +250,7 @@ func BenchmarkAblationStrategy(b *testing.B) {
 		b.Run(strat, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				y := ablationRun(b, func(c *sim.Config) { c.Alloc = strat })
-				b.ReportMetric(y, "mean_resp_s")
+				reportMetric(b, "mean_resp_s", y)
 			}
 		})
 	}
@@ -200,7 +271,7 @@ func BenchmarkAblationTruncation(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(res.MeanResponse, "mean_resp_s")
+				reportMetric(b, "mean_resp_s", res.MeanResponse)
 			}
 		})
 	}
@@ -214,7 +285,7 @@ func BenchmarkAblationFlits(b *testing.B) {
 					c.Net = netsim.DefaultConfig()
 					c.Net.MessageFlits = flits
 				})
-				b.ReportMetric(y, "mean_resp_s")
+				reportMetric(b, "mean_resp_s", y)
 			}
 		})
 	}
@@ -225,7 +296,7 @@ func BenchmarkAblationMCShape(b *testing.B) {
 		b.Run(spec, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				y := ablationRun(b, func(c *sim.Config) { c.Alloc = spec })
-				b.ReportMetric(y, "mean_resp_s")
+				reportMetric(b, "mean_resp_s", y)
 			}
 		})
 	}
@@ -239,7 +310,7 @@ func BenchmarkAblationRouting(b *testing.B) {
 					c.Net = netsim.DefaultConfig()
 					c.Net.Routing = r
 				})
-				b.ReportMetric(y, "mean_resp_s")
+				reportMetric(b, "mean_resp_s", y)
 			}
 		})
 	}
@@ -258,8 +329,8 @@ func BenchmarkExtContiguousBaselines(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				b.ReportMetric(res.UtilizationPct, "utilization_pct")
-				b.ReportMetric(res.MeanResponse, "mean_resp_s")
+				reportMetric(b, "utilization_pct", res.UtilizationPct)
+				reportMetric(b, "mean_resp_s", res.MeanResponse)
 			}
 		})
 	}
@@ -270,7 +341,31 @@ func BenchmarkAblationScheduler(b *testing.B) {
 		b.Run(sch, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				y := ablationRun(b, func(c *sim.Config) { c.Scheduler = sch })
-				b.ReportMetric(y, "mean_resp_s")
+				reportMetric(b, "mean_resp_s", y)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationCube3D probes the tentpole question of the 3-D
+// extension: how much contention signal does the paper's 2-D projection
+// of CPlant lose versus native 3-D allocation? Same machine, same
+// trace; only the allocator's view of the topology changes.
+func BenchmarkAblationCube3D(b *testing.B) {
+	tr := benchTrace(250, 512)
+	for _, spec := range []string{"hilbert/bestfit", "proj2d-hilbert/bestfit", "hilbert", "proj2d-hilbert", "mc1x1"} {
+		b.Run(spec, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := sim.Run(sim.Config{
+					Dims:  []int{8, 8, 8},
+					Alloc: spec, Pattern: "nbody",
+					Load: 0.2, TimeScale: 0.01, Seed: 1,
+				}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reportMetric(b, "mean_resp_s", res.MeanResponse)
+				reportMetric(b, "avg_hops", res.Net.AvgHops())
 			}
 		})
 	}
@@ -282,7 +377,7 @@ func BenchmarkAllocate(b *testing.B) {
 	m := mesh.New(16, 22)
 	for _, spec := range alloc.Specs() {
 		b.Run(spec, func(b *testing.B) {
-			a, err := alloc.Spec(m, spec, 1)
+			a, err := alloc.Spec(m.Grid(), spec, 1)
 			if err != nil {
 				b.Fatal(err)
 			}
@@ -300,10 +395,19 @@ func BenchmarkAllocate(b *testing.B) {
 
 func BenchmarkNetworkSend(b *testing.B) {
 	m := mesh.New(16, 22)
-	n := netsim.New(m, netsim.DefaultConfig())
+	n := netsim.New(m.Grid(), netsim.DefaultConfig())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		n.Send(i%m.Size(), (i*7+13)%m.Size(), float64(i))
+	}
+}
+
+func BenchmarkNetworkSend3D(b *testing.B) {
+	g := topo.New([]int{8, 8, 8})
+	n := netsim.New(g, netsim.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(i%g.Size(), (i*7+13)%g.Size(), float64(i))
 	}
 }
 

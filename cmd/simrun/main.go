@@ -5,24 +5,27 @@
 // Example:
 //
 //	simrun -mesh 16x22 -alloc hilbert/bestfit -pattern nbody -load 0.6
+//	simrun -mesh 8x8x8 -alloc hilbert/bestfit -pattern nbody      # native 3-D
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/metrics"
 	"meshalloc/internal/netsim"
 	"meshalloc/internal/sim"
+	"meshalloc/internal/topo"
 	"meshalloc/internal/trace"
 )
 
 func main() {
 	var (
-		meshSpec  = flag.String("mesh", "16x22", "mesh dimensions WxH")
+		meshSpec  = flag.String("mesh", "16x22", "mesh dimensions, e.g. 16x22 or 8x8x8")
 		allocSpec = flag.String("alloc", "hilbert/bestfit", "allocator spec (e.g. mc, mc1x1, genalg, hilbert/bestfit, scurve)")
 		pattern   = flag.String("pattern", "alltoall", "communication pattern (alltoall, nbody, random, ring, pingpong, testsuite)")
 		load      = flag.Float64("load", 1.0, "arrival contraction factor (1 down to 0.2)")
@@ -41,9 +44,13 @@ func main() {
 	)
 	flag.Parse()
 
-	w, h, err := parseMesh(*meshSpec)
+	dims, err := parseMesh(*meshSpec)
 	if err != nil {
 		fatal(err)
+	}
+	size := 1
+	for _, d := range dims {
+		size *= d
 	}
 
 	var tr *trace.Trace
@@ -62,12 +69,12 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		tr = trace.NewSDSC(trace.SDSCConfig{Jobs: *jobs, MaxSize: w * h, Seed: *seed})
+		tr = trace.NewSDSC(trace.SDSCConfig{Jobs: *jobs, MaxSize: size, Seed: *seed})
 	}
-	tr = tr.FilterMaxSize(w * h)
+	tr = tr.FilterMaxSize(size)
 
 	cfg := sim.Config{
-		MeshW: w, MeshH: h,
+		Dims:      dims,
 		Torus:     *torus,
 		Alloc:     *allocSpec,
 		Pattern:   *pattern,
@@ -93,8 +100,8 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("mesh %dx%d  alloc %-18s pattern %-9s load %.2f  jobs %d\n",
-		w, h, *allocSpec, *pattern, *load, len(res.Records))
+	fmt.Printf("mesh %s  alloc %-18s pattern %-9s load %.2f  jobs %d\n",
+		*meshSpec, *allocSpec, *pattern, *load, len(res.Records))
 	fmt.Printf("mean response    %14.0f s\n", res.MeanResponse)
 	fmt.Printf("median response  %14.0f s\n", res.MedianResponse)
 	fmt.Printf("makespan         %14.0f s\n", res.Makespan)
@@ -103,12 +110,18 @@ func main() {
 		res.Net.Messages, res.Net.AvgHops(), res.Net.AvgLatency())
 
 	if *heatmap {
+		if len(dims) != 2 {
+			fatal(fmt.Errorf("-heatmap renders 2-D meshes only (got %s)", *meshSpec))
+		}
 		fmt.Println("\nlink-utilization heatmap (0-9 per node, '.' = idle):")
-		fmt.Print(renderHeatmap(res.NodeUtilization, w, h))
+		fmt.Print(renderHeatmap(res.NodeUtilization, dims[0], dims[1]))
 	}
 
 	if *disperse {
-		m := meshForDims(w, h, *torus)
+		if len(dims) != 2 {
+			fatal(fmt.Errorf("-dispersal supports 2-D meshes only (got %s)", *meshSpec))
+		}
+		m := meshForDims(dims[0], dims[1], *torus)
 		ms := make([]metrics.Dispersal, len(res.Records))
 		sizes := make([]int, len(res.Records))
 		for i, r := range res.Records {
@@ -169,18 +182,20 @@ func meshForDims(w, h int, torus bool) *mesh.Mesh {
 	return mesh.New(w, h)
 }
 
-func parseMesh(s string) (w, h int, err error) {
+func parseMesh(s string) ([]int, error) {
 	parts := strings.Split(s, "x")
-	if len(parts) != 2 {
-		return 0, 0, fmt.Errorf("bad mesh spec %q, want WxH", s)
+	if len(parts) < 2 || len(parts) > topo.MaxDims {
+		return nil, fmt.Errorf("bad mesh spec %q, want WxH or WxHxD", s)
 	}
-	if _, err := fmt.Sscanf(s, "%dx%d", &w, &h); err != nil {
-		return 0, 0, fmt.Errorf("bad mesh spec %q: %v", s, err)
+	dims := make([]int, len(parts))
+	for i, p := range parts {
+		d, err := strconv.Atoi(p)
+		if err != nil || d <= 0 {
+			return nil, fmt.Errorf("bad mesh spec %q: extent %q", s, p)
+		}
+		dims[i] = d
 	}
-	if w <= 0 || h <= 0 {
-		return 0, 0, fmt.Errorf("bad mesh dimensions %dx%d", w, h)
-	}
-	return w, h, nil
+	return dims, nil
 }
 
 func fatal(err error) {

@@ -4,10 +4,11 @@
 // from convex to noncontiguous allocation, as the paper's Section 2
 // recounts.
 //
-//	go run ./examples/fragmentation
+//	go run ./examples/fragmentation [-jobs N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -15,7 +16,9 @@ import (
 )
 
 func main() {
-	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 250, MaxSize: 256, Seed: 13})
+	jobs := flag.Int("jobs", 250, "synthetic trace length (lower for a quick smoke run)")
+	flag.Parse()
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: *jobs, MaxSize: 256, Seed: 13})
 	m := meshalloc.NewMesh(16, 16)
 
 	fmt.Println("allocator          mean frag   worst frag   mean resp (s)")

@@ -2,10 +2,11 @@
 // under a good allocator versus a dispersing one — the physical mechanism
 // behind every response-time difference in the paper.
 //
-//	go run ./examples/heatmap
+//	go run ./examples/heatmap [-jobs N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"strings"
@@ -14,7 +15,9 @@ import (
 )
 
 func main() {
-	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 300, MaxSize: 256, Seed: 5})
+	jobs := flag.Int("jobs", 300, "synthetic trace length (lower for a quick smoke run)")
+	flag.Parse()
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: *jobs, MaxSize: 256, Seed: 5})
 
 	for _, spec := range []string{"hilbert/bestfit", "random"} {
 		res, err := meshalloc.Run(meshalloc.Config{

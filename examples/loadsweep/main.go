@@ -17,11 +17,12 @@ import (
 func main() {
 	allocSpec := flag.String("alloc", "hilbert/bestfit", "allocator spec")
 	pattern := flag.String("pattern", "alltoall", "communication pattern")
+	jobs := flag.Int("jobs", 800, "synthetic trace length (lower for a quick smoke run)")
 	flag.Parse()
 
-	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 800, MaxSize: 352, Seed: 11})
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: *jobs, MaxSize: 352, Seed: 11})
 
-	fmt.Printf("allocator %s, pattern %s, 16x22 mesh, 800 jobs\n\n", *allocSpec, *pattern)
+	fmt.Printf("allocator %s, pattern %s, 16x22 mesh, %d jobs\n\n", *allocSpec, *pattern, *jobs)
 	fmt.Println("load   mean resp (s)   median (s)   mean wait (s)   net avg hops")
 	for _, load := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
 		res, err := meshalloc.Run(meshalloc.Config{

@@ -3,10 +3,11 @@
 // finishing faster under the 1-D allocator than under MC1x1) motivated
 // the study.
 //
-//	go run ./examples/nbody
+//	go run ./examples/nbody [-jobs N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"sort"
@@ -15,7 +16,9 @@ import (
 )
 
 func main() {
-	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 600, MaxSize: 256, Seed: 3})
+	jobs := flag.Int("jobs", 600, "synthetic trace length (lower for a quick smoke run)")
+	flag.Parse()
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: *jobs, MaxSize: 256, Seed: 3})
 
 	type entry struct {
 		spec string

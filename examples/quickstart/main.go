@@ -1,10 +1,11 @@
 // Quickstart: simulate a small synthetic workload on a 16x16 mesh under
 // two allocation algorithms and compare mean response time.
 //
-//	go run ./examples/quickstart
+//	go run ./examples/quickstart [-jobs N]
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -12,9 +13,11 @@ import (
 )
 
 func main() {
-	// A 400-job workload statistically matched to the SDSC Paragon
-	// trace, capped to fit a 16x16 machine.
-	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 400, MaxSize: 256, Seed: 7})
+	jobs := flag.Int("jobs", 400, "synthetic trace length (lower for a quick smoke run)")
+	flag.Parse()
+	// A workload statistically matched to the SDSC Paragon trace,
+	// capped to fit a 16x16 machine.
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: *jobs, MaxSize: 256, Seed: 7})
 
 	for _, spec := range []string{"hilbert/bestfit", "scurve"} {
 		res, err := meshalloc.Run(meshalloc.Config{

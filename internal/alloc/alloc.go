@@ -4,6 +4,12 @@
 // MC and its shape-oblivious CPlant variant MC1x1, Krumke et al.'s
 // Gen-Alg, and a random baseline.
 //
+// The algorithms are dimension-generic: they run over a topo.Grid, so the
+// same Paging, MC-family and Gen-Alg implementations serve the paper's
+// 2-D meshes and the native 3-D machines of the ext-cube3d experiment.
+// Only the contiguous baselines (submesh first fit, the 2-D buddy
+// system) are inherently two-dimensional and are gated accordingly.
+//
 // An Allocator owns the free/busy state of one machine. The simulator
 // calls Allocate when the FCFS scheduler starts a job and Release when the
 // job terminates.
@@ -21,6 +27,7 @@ import (
 	"meshalloc/internal/curveopt"
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/stats"
+	"meshalloc/internal/topo"
 )
 
 // ErrInsufficient reports that a request exceeds the free processor count.
@@ -53,7 +60,58 @@ func (r Request) Shape() (w, h int) {
 	return w, h
 }
 
-// Allocator assigns sets of processors to jobs on a fixed mesh.
+// ShapeExt returns the request's shape as nd-dimensional extents: the
+// explicit 2-D shape when one was given on a 2-D machine, otherwise the
+// near-cubic shape covering Size, derived greedily axis by axis. For
+// nd = 2 this reproduces Shape exactly, which keeps MC's candidate
+// scoring bit-identical on the paper's meshes.
+func (r Request) ShapeExt(nd int) topo.Point {
+	var ext topo.Point
+	for i := range ext {
+		ext[i] = 1
+	}
+	if nd == 2 {
+		ext[0], ext[1] = r.Shape()
+		return ext
+	}
+	remaining := r.Size
+	for i := 0; i < nd; i++ {
+		e := intRootCeil(remaining, nd-i)
+		ext[i] = e
+		remaining = (remaining + e - 1) / e
+	}
+	return ext
+}
+
+// intRootCeil returns the smallest e >= 1 with e^k >= n.
+func intRootCeil(n, k int) int {
+	if n <= 1 {
+		return 1
+	}
+	e := int(math.Ceil(math.Pow(float64(n), 1/float64(k))))
+	if e < 1 {
+		e = 1
+	}
+	// Guard against floating-point undershoot/overshoot around exact
+	// powers.
+	for pow(e-1, k) >= n {
+		e--
+	}
+	for pow(e, k) < n {
+		e++
+	}
+	return e
+}
+
+func pow(b, k int) int {
+	p := 1
+	for i := 0; i < k; i++ {
+		p *= b
+	}
+	return p
+}
+
+// Allocator assigns sets of processors to jobs on a fixed machine.
 type Allocator interface {
 	// Name identifies the algorithm, e.g. "hilbert/bestfit" or "mc1x1".
 	Name() string
@@ -73,31 +131,39 @@ type Allocator interface {
 // and the experiment harness:
 //
 //	"mc", "mc1x1", "genalg", "random",
-//	"submesh", "buddy" (contiguous baselines),
+//	"submesh", "buddy" (contiguous baselines, 2-D only),
 //	"<curve>" (Paging with sorted free list),
 //	"<curve>/<strategy>" (Paging with a bin-packing strategy), or
-//	"<curve>/<strategy>/page<s>" (Lo et al.'s Paging with 2^s x 2^s pages),
+//	"<curve>/<strategy>/page<s>" (Lo et al.'s Paging with 2^s-sided pages),
 //
 // e.g. "hilbert/bestfit", "scurve/firstfit", "hindex",
-// "hilbert/freelist/page1".
-func Spec(m *mesh.Mesh, spec string, seed int64) (Allocator, error) {
+// "hilbert/freelist/page1". On machines with more than two dimensions
+// the curve must order n-D grids (hilbert, scurve, rowmajor, zorder, and
+// the proj2d-* projections); the 2-D-only curves are rejected.
+func Spec(g *topo.Grid, spec string, seed int64) (Allocator, error) {
 	switch spec {
 	case "mc":
-		return NewMC(m), nil
+		return NewMC(g), nil
 	case "mc1x1":
-		return NewMC1x1(m), nil
+		return NewMC1x1(g), nil
 	case "genalg":
-		return NewGenAlg(m), nil
+		return NewGenAlg(g), nil
 	case "random":
-		return NewRandom(m, seed), nil
+		return NewRandom(g, seed), nil
 	case "submesh":
-		return NewSubmeshFirstFit(m), nil
-	case "buddy":
-		if m.Width() != m.Height() || m.Width()&(m.Width()-1) != 0 {
-			return nil, fmt.Errorf("alloc: buddy requires a square power-of-two mesh, got %dx%d",
-				m.Width(), m.Height())
+		if g.ND() != 2 {
+			return nil, fmt.Errorf("alloc: submesh allocation requires a 2-D mesh, got %d-D", g.ND())
 		}
-		return NewBuddy(m), nil
+		return NewSubmeshFirstFit(mesh.FromGrid(g)), nil
+	case "buddy":
+		if g.ND() != 2 {
+			return nil, fmt.Errorf("alloc: buddy requires a 2-D mesh, got %d-D", g.ND())
+		}
+		if g.Dim(0) != g.Dim(1) || g.Dim(0)&(g.Dim(0)-1) != 0 {
+			return nil, fmt.Errorf("alloc: buddy requires a square power-of-two mesh, got %dx%d",
+				g.Dim(0), g.Dim(1))
+		}
+		return NewBuddy(mesh.FromGrid(g)), nil
 	}
 	parts := strings.Split(spec, "/")
 	var c curve.Curve
@@ -112,6 +178,9 @@ func Spec(m *mesh.Mesh, spec string, seed int64) (Allocator, error) {
 			return nil, fmt.Errorf("alloc: unknown allocator %q", spec)
 		}
 	}
+	if !curve.SupportsDims(c, g.ND()) {
+		return nil, fmt.Errorf("alloc: curve %s cannot order a %d-D machine", c.Name(), g.ND())
+	}
 	strat := binpack.FreeList
 	if len(parts) >= 2 {
 		var err error
@@ -122,21 +191,23 @@ func Spec(m *mesh.Mesh, spec string, seed int64) (Allocator, error) {
 	}
 	switch {
 	case len(parts) == 2:
-		return NewPaging(m, c, strat), nil
+		return NewPaging(g, c, strat), nil
 	case len(parts) == 3:
 		var s int
 		if _, err := fmt.Sscanf(parts[2], "page%d", &s); err != nil || s < 0 {
 			return nil, fmt.Errorf("alloc: bad page suffix %q in %q", parts[2], spec)
 		}
 		side := 1 << uint(s)
-		if side > m.Width() || side > m.Height() {
-			return nil, fmt.Errorf("alloc: page side %d exceeds mesh %dx%d", side, m.Width(), m.Height())
+		for i := 0; i < g.ND(); i++ {
+			if side > g.Dim(i) {
+				return nil, fmt.Errorf("alloc: page side %d exceeds machine axis %d (extent %d)", side, i, g.Dim(i))
+			}
 		}
-		return NewPagedPaging(m, c, strat, s), nil
+		return NewPagedPaging(g, c, strat, s), nil
 	case len(parts) > 3:
 		return nil, fmt.Errorf("alloc: unknown allocator %q", spec)
 	}
-	return NewPaging(m, c, strat), nil
+	return NewPaging(g, c, strat), nil
 }
 
 // Specs returns the nine allocator specs whose curves appear in the
@@ -163,20 +234,26 @@ func Fig11Specs() []string {
 // ordered by a space-filling curve and selected with a bin-packing
 // strategy (page size 1, so no internal fragmentation).
 type Paging struct {
-	m      *mesh.Mesh
+	g      *topo.Grid
 	c      curve.Curve
 	strat  binpack.Strategy
 	packer *binpack.Packer
 }
 
-// NewPaging returns a Paging allocator over m using curve c and selection
-// strategy strat.
-func NewPaging(m *mesh.Mesh, c curve.Curve, strat binpack.Strategy) *Paging {
+// NewPaging returns a Paging allocator over g using curve c and selection
+// strategy strat. It panics when the curve cannot order the grid's
+// dimensionality (use Spec for an error-returning path): curve choice is
+// static configuration.
+func NewPaging(g *topo.Grid, c curve.Curve, strat binpack.Strategy) *Paging {
+	order, err := curve.GridOrder(c, g.Dims())
+	if err != nil {
+		panic(fmt.Sprintf("alloc: %v", err))
+	}
 	return &Paging{
-		m:      m,
+		g:      g,
 		c:      c,
 		strat:  strat,
-		packer: binpack.New(c.Order(m.Width(), m.Height())),
+		packer: binpack.New(order),
 	}
 }
 
@@ -209,13 +286,13 @@ func (p *Paging) Reset() { p.packer.Reset() }
 // tracker is the shared busy-set bookkeeping for the set-based allocators
 // (MC, Gen-Alg, Random).
 type tracker struct {
-	m       *mesh.Mesh
+	g       *topo.Grid
 	busy    []bool
 	numFree int
 }
 
-func newTracker(m *mesh.Mesh) tracker {
-	return tracker{m: m, busy: make([]bool, m.Size()), numFree: m.Size()}
+func newTracker(g *topo.Grid) tracker {
+	return tracker{g: g, busy: make([]bool, g.Size()), numFree: g.Size()}
 }
 
 func (t *tracker) NumFree() int { return t.numFree }
@@ -258,7 +335,9 @@ func (t *tracker) check(size int) error {
 // processor evaluates an allocation centered on itself: free processors
 // are gathered shell by shell outward from the requested submesh shape,
 // weighted by shell index, and the candidate with the lowest total weight
-// (cost) wins. MC1x1 is the same algorithm with shell 0 fixed at 1x1.
+// (cost) wins. MC1x1 is the same algorithm with shell 0 fixed at a
+// single processor. On n-D machines the shells are box surfaces instead
+// of rings; the scoring rule is unchanged.
 type MC struct {
 	tracker
 	oneByOne bool
@@ -270,12 +349,12 @@ type MC struct {
 }
 
 // NewMC returns the shape-aware MC allocator.
-func NewMC(m *mesh.Mesh) *MC { return &MC{tracker: newTracker(m)} }
+func NewMC(g *topo.Grid) *MC { return &MC{tracker: newTracker(g)} }
 
 // NewMC1x1 returns the shape-oblivious CPlant variant whose shell 0 is a
 // single processor.
-func NewMC1x1(m *mesh.Mesh) *MC {
-	return &MC{tracker: newTracker(m), oneByOne: true}
+func NewMC1x1(g *topo.Grid) *MC {
+	return &MC{tracker: newTracker(g), oneByOne: true}
 }
 
 // Name implements Allocator.
@@ -291,16 +370,19 @@ func (a *MC) Allocate(req Request) ([]int, error) {
 	if err := a.check(req.Size); err != nil {
 		return nil, err
 	}
-	w, h := 1, 1
+	var ext topo.Point
+	for i := range ext {
+		ext[i] = 1
+	}
 	if !a.oneByOne {
-		w, h = req.Shape()
+		ext = req.ShapeExt(a.g.ND())
 	}
 	bestCost := -1
-	for center := 0; center < a.m.Size(); center++ {
+	for center := 0; center < a.g.Size(); center++ {
 		if a.busy[center] {
 			continue
 		}
-		cost, ok := a.gather(a.m.Coord(center), w, h, req.Size)
+		cost, ok := a.gather(a.g.Coord(center), ext, req.Size)
 		if !ok {
 			continue
 		}
@@ -322,12 +404,12 @@ func (a *MC) Allocate(req Request) ([]int, error) {
 // shells run out before size processors are found. The ShellEach walk
 // keeps the whole scoring loop free of intermediate buffers; the closure
 // stays on the stack because ShellEach does not retain it.
-func (a *MC) gather(center mesh.Point, w, h, size int) (int, bool) {
+func (a *MC) gather(center, ext topo.Point, size int) (int, bool) {
 	ids := a.gatherBuf[:0]
 	cost := 0
-	maxK := a.m.MaxShells(w, h)
+	maxK := a.g.MaxShells()
 	for k := 0; k <= maxK && len(ids) < size; k++ {
-		a.m.ShellEach(center, w, h, k, func(id int) bool {
+		a.g.ShellEach(center, ext, k, func(id int) bool {
 			if a.busy[id] {
 				return true
 			}
@@ -354,12 +436,11 @@ type GenAlg struct {
 	nearBuf []int
 	bestBuf []int
 	ringBuf []int
-	xsBuf   []int
-	ysBuf   []int
+	axisBuf [topo.MaxDims][]int
 }
 
-// NewGenAlg returns a Gen-Alg allocator over m.
-func NewGenAlg(m *mesh.Mesh) *GenAlg { return &GenAlg{tracker: newTracker(m)} }
+// NewGenAlg returns a Gen-Alg allocator over g.
+func NewGenAlg(g *topo.Grid) *GenAlg { return &GenAlg{tracker: newTracker(g)} }
 
 // Name implements Allocator.
 func (a *GenAlg) Name() string { return "genalg" }
@@ -370,7 +451,7 @@ func (a *GenAlg) Allocate(req Request) ([]int, error) {
 		return nil, err
 	}
 	bestDist := -1
-	for center := 0; center < a.m.Size(); center++ {
+	for center := 0; center < a.g.Size(); center++ {
 		if a.busy[center] {
 			continue
 		}
@@ -390,11 +471,14 @@ func (a *GenAlg) Allocate(req Request) ([]int, error) {
 // (inclusive), gathered ring by Manhattan ring with row-major tie-breaking
 // inside a ring.
 func (a *GenAlg) nearest(center, k int) {
-	c := a.m.Coord(center)
+	c := a.g.Coord(center)
 	ids := a.nearBuf[:0]
-	maxR := a.m.Width() + a.m.Height()
+	maxR := 0
+	for i := 0; i < a.g.ND(); i++ {
+		maxR += a.g.Dim(i)
+	}
 	for r := 0; r <= maxR && len(ids) < k; r++ {
-		a.ringBuf = appendRing(a.ringBuf[:0], a.m, c, r)
+		a.ringBuf = a.g.AppendRing(a.ringBuf[:0], c, r)
 		for _, id := range a.ringBuf {
 			if a.busy[id] {
 				continue
@@ -408,71 +492,48 @@ func (a *GenAlg) nearest(center, k int) {
 	a.nearBuf = ids
 }
 
-// ring returns the ids of mesh nodes at exactly Manhattan distance r from
-// c, in row-major order.
-func ring(m *mesh.Mesh, c mesh.Point, r int) []int {
-	return appendRing(nil, m, c, r)
-}
-
-// appendRing appends the ids of mesh nodes at exactly Manhattan distance r
-// from c to ids, in row-major order — the allocation-free variant of ring.
-func appendRing(ids []int, m *mesh.Mesh, c mesh.Point, r int) []int {
-	if r == 0 {
-		if m.Contains(c) {
-			ids = append(ids, m.ID(c))
-		}
-		return ids
-	}
-	w, h := m.Width(), m.Height()
-	for dy := -r; dy <= r; dy++ {
-		y := c.Y + dy
-		if y < 0 || y >= h {
-			continue
-		}
-		dx := r - abs(dy)
-		if x := c.X - dx; x >= 0 && x < w {
-			ids = append(ids, y*w+x)
-		}
-		if dx > 0 {
-			if x := c.X + dx; x >= 0 && x < w {
-				ids = append(ids, y*w+x)
-			}
-		}
-	}
-	return ids
-}
-
 // totalPairwise computes the total pairwise hop distance of the node set
-// using the allocator's persistent axis workspace.
+// using the allocator's persistent axis workspace: in O(k log k) on a
+// plain grid by handling each axis independently. Torus distances are
+// not separable this way, so they fall back to the quadratic
+// computation.
 func (a *GenAlg) totalPairwise(ids []int) int {
-	if a.m.Torus() {
-		return a.m.TotalPairwiseDist(ids)
+	if a.g.Torus() {
+		return a.g.TotalPairwiseDist(ids)
 	}
-	xs, ys := a.xsBuf[:0], a.ysBuf[:0]
+	nd := a.g.ND()
+	for axis := 0; axis < nd; axis++ {
+		a.axisBuf[axis] = a.axisBuf[axis][:0]
+	}
 	for _, id := range ids {
-		p := a.m.Coord(id)
-		xs = append(xs, p.X)
-		ys = append(ys, p.Y)
+		p := a.g.Coord(id)
+		for axis := 0; axis < nd; axis++ {
+			a.axisBuf[axis] = append(a.axisBuf[axis], p[axis])
+		}
 	}
-	a.xsBuf, a.ysBuf = xs, ys
-	return sortedAxisSum(xs) + sortedAxisSum(ys)
+	total := 0
+	for axis := 0; axis < nd; axis++ {
+		total += sortedAxisSum(a.axisBuf[axis])
+	}
+	return total
 }
 
 // totalPairwiseL1 computes the total pairwise hop distance of the node
-// set, in O(k log k) on a plain mesh by handling the x and y axes
-// independently; torus distances are not separable this way, so they
-// fall back to the quadratic computation.
-func totalPairwiseL1(m *mesh.Mesh, ids []int) int {
-	if m.Torus() {
-		return m.TotalPairwiseDist(ids)
+// set, in O(k log k) on a plain grid by handling the axes independently;
+// torus distances fall back to the quadratic computation.
+func totalPairwiseL1(g *topo.Grid, ids []int) int {
+	if g.Torus() {
+		return g.TotalPairwiseDist(ids)
 	}
-	xs := make([]int, len(ids))
-	ys := make([]int, len(ids))
-	for i, id := range ids {
-		p := m.Coord(id)
-		xs[i], ys[i] = p.X, p.Y
+	total := 0
+	axis := make([]int, len(ids))
+	for i := 0; i < g.ND(); i++ {
+		for j, id := range ids {
+			axis[j] = g.Coord(id)[i]
+		}
+		total += sortedAxisSum(axis)
 	}
-	return sortedAxisSum(xs) + sortedAxisSum(ys)
+	return total
 }
 
 // sortedAxisSum returns sum over i<j of |v[i]-v[j]| via sorting and prefix
@@ -487,13 +548,6 @@ func sortedAxisSum(v []int) int {
 	return total
 }
 
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
-
 // Random allocates uniformly random free processors. It is not in the
 // paper but provides the dispersal worst case that the contention model
 // can be sanity-checked against.
@@ -504,8 +558,8 @@ type Random struct {
 }
 
 // NewRandom returns a Random allocator seeded with seed.
-func NewRandom(m *mesh.Mesh, seed int64) *Random {
-	return &Random{tracker: newTracker(m), rng: stats.NewRNG(seed)}
+func NewRandom(g *topo.Grid, seed int64) *Random {
+	return &Random{tracker: newTracker(g), rng: stats.NewRNG(seed)}
 }
 
 // Name implements Allocator.

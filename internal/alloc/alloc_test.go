@@ -8,13 +8,14 @@ import (
 	"meshalloc/internal/binpack"
 	"meshalloc/internal/curve"
 	"meshalloc/internal/mesh"
+	"meshalloc/internal/topo"
 )
 
 func allAllocators(t *testing.T, m *mesh.Mesh) []Allocator {
 	t.Helper()
 	var as []Allocator
 	for _, spec := range append(Fig11Specs(), "random") {
-		a, err := Spec(m, spec, 1)
+		a, err := Spec(m.Grid(), spec, 1)
 		if err != nil {
 			t.Fatalf("Spec(%q): %v", spec, err)
 		}
@@ -26,7 +27,7 @@ func allAllocators(t *testing.T, m *mesh.Mesh) []Allocator {
 func TestSpecNames(t *testing.T) {
 	m := mesh.New(8, 8)
 	for _, spec := range append(Fig11Specs(), "random") {
-		a, err := Spec(m, spec, 1)
+		a, err := Spec(m.Grid(), spec, 1)
 		if err != nil {
 			t.Fatalf("Spec(%q): %v", spec, err)
 		}
@@ -34,10 +35,10 @@ func TestSpecNames(t *testing.T) {
 			t.Errorf("Spec(%q).Name() = %q", spec, a.Name())
 		}
 	}
-	if _, err := Spec(m, "nope", 1); err == nil {
+	if _, err := Spec(m.Grid(), "nope", 1); err == nil {
 		t.Error("unknown spec should fail")
 	}
-	if _, err := Spec(m, "hilbert/nope", 1); err == nil {
+	if _, err := Spec(m.Grid(), "hilbert/nope", 1); err == nil {
 		t.Error("unknown strategy should fail")
 	}
 }
@@ -135,7 +136,7 @@ func TestReset(t *testing.T) {
 func TestPagingFreeListOnEmptyMeshIsCurvePrefix(t *testing.T) {
 	m := mesh.New(8, 8)
 	c := curve.Hilbert{}
-	a := NewPaging(m, c, binpack.FreeList)
+	a := NewPaging(m.Grid(), c, binpack.FreeList)
 	ids, err := a.Allocate(Request{Size: 16})
 	if err != nil {
 		t.Fatal(err)
@@ -154,7 +155,7 @@ func TestPagingFreeListOnEmptyMeshIsCurvePrefix(t *testing.T) {
 
 func TestMCAllocatesRequestedShapeOnEmptyMesh(t *testing.T) {
 	m := mesh.New(8, 8)
-	a := NewMC(m)
+	a := NewMC(m.Grid())
 	ids, err := a.Allocate(Request{Size: 6, ShapeW: 3, ShapeH: 2})
 	if err != nil {
 		t.Fatal(err)
@@ -171,7 +172,7 @@ func TestMCAllocatesRequestedShapeOnEmptyMesh(t *testing.T) {
 
 func TestMC1x1CompactOnEmptyMesh(t *testing.T) {
 	m := mesh.New(8, 8)
-	a := NewMC1x1(m)
+	a := NewMC1x1(m.Grid())
 	ids, err := a.Allocate(Request{Size: 5})
 	if err != nil {
 		t.Fatal(err)
@@ -188,7 +189,7 @@ func TestMC1x1CompactOnEmptyMesh(t *testing.T) {
 
 func TestGenAlgPicksCompactSet(t *testing.T) {
 	m := mesh.New(8, 8)
-	a := NewGenAlg(m)
+	a := NewGenAlg(m.Grid())
 	ids, err := a.Allocate(Request{Size: 9})
 	if err != nil {
 		t.Fatal(err)
@@ -213,7 +214,7 @@ func TestGenAlgApproximationProperty(t *testing.T) {
 	// Verify against brute force on a small mesh with random busy sets.
 	m := mesh.New(4, 4)
 	f := func(mask uint16, kRaw uint8) bool {
-		a := NewGenAlg(m)
+		a := NewGenAlg(m.Grid())
 		var busy []int
 		for i := 0; i < 16; i++ {
 			if mask&(1<<uint(i)) != 0 {
@@ -240,7 +241,7 @@ func TestGenAlgApproximationProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		got := totalPairwiseL1(m, ids)
+		got := totalPairwiseL1(m.Grid(), ids)
 		best := bruteBest(m, free, k)
 		return float64(got) <= (2-2/float64(k))*float64(best)+1e-9
 	}
@@ -256,7 +257,7 @@ func bruteBest(m *mesh.Mesh, free []int, k int) int {
 	var rec func(start int, chosen []int)
 	rec = func(start int, chosen []int) {
 		if len(chosen) == k {
-			d := totalPairwiseL1(m, chosen)
+			d := totalPairwiseL1(m.Grid(), chosen)
 			if best == -1 || d < best {
 				best = d
 			}
@@ -295,7 +296,7 @@ func TestRingEnumeration(t *testing.T) {
 	m := mesh.New(9, 9)
 	c := mesh.Point{X: 4, Y: 4}
 	for r := 0; r <= 8; r++ {
-		ids := ring(m, c, r)
+		ids := m.Grid().Ring(topo.Point{c.X, c.Y}, r)
 		seen := map[int]bool{}
 		for _, id := range ids {
 			if m.Coord(id).Manhattan(c) != r {
@@ -310,7 +311,7 @@ func TestRingEnumeration(t *testing.T) {
 			t.Fatalf("interior ring %d has %d nodes, want %d", r, len(ids), 4*r)
 		}
 	}
-	if got := ring(m, c, 0); len(got) != 1 || got[0] != m.ID(c) {
+	if got := m.Grid().Ring(topo.Point{c.X, c.Y}, 0); len(got) != 1 || got[0] != m.ID(c) {
 		t.Fatalf("ring 0 = %v", got)
 	}
 }
@@ -320,7 +321,7 @@ func TestRingsCoverMesh(t *testing.T) {
 	c := mesh.Point{X: 0, Y: 6}
 	seen := map[int]bool{}
 	for r := 0; r <= 12; r++ {
-		for _, id := range ring(m, c, r) {
+		for _, id := range m.Grid().Ring(topo.Point{c.X, c.Y}, r) {
 			if seen[id] {
 				t.Fatalf("node %d in two rings", id)
 			}
@@ -341,7 +342,7 @@ func TestTotalPairwiseL1MatchesMesh(t *testing.T) {
 				ids = append(ids, i)
 			}
 		}
-		return totalPairwiseL1(m, ids) == m.TotalPairwiseDist(ids)
+		return totalPairwiseL1(m.Grid(), ids) == m.TotalPairwiseDist(ids)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
@@ -350,8 +351,8 @@ func TestTotalPairwiseL1MatchesMesh(t *testing.T) {
 
 func TestRandomAllocatorIsDeterministicPerSeed(t *testing.T) {
 	m := mesh.New(8, 8)
-	a1 := NewRandom(m, 42)
-	a2 := NewRandom(m, 42)
+	a1 := NewRandom(m.Grid(), 42)
+	a2 := NewRandom(m.Grid(), 42)
 	ids1, _ := a1.Allocate(Request{Size: 10})
 	ids2, _ := a2.Allocate(Request{Size: 10})
 	sort.Ints(ids1)
@@ -368,7 +369,7 @@ func TestMCPrefersCompactOverFragmented(t *testing.T) {
 	// region. MC1x1 asked for 9 should stay within one region rather
 	// than straddling the wall when possible.
 	m := mesh.New(8, 8)
-	a := NewMC1x1(m)
+	a := NewMC1x1(m.Grid())
 	var wall []int
 	for y := 0; y < 8; y++ {
 		wall = append(wall, m.ID(mesh.Point{X: 3, Y: y}))

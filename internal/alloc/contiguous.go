@@ -16,14 +16,17 @@ import (
 
 // SubmeshFirstFit is Zhu's first-fit submesh allocation: scan anchor
 // positions in row-major order and allocate the first fully-free
-// submesh of the request's shape (trying both orientations).
+// submesh of the request's shape (trying both orientations). It is
+// inherently two-dimensional and keeps a mesh view beside the generic
+// busy tracker.
 type SubmeshFirstFit struct {
 	tracker
+	m *mesh.Mesh
 }
 
 // NewSubmeshFirstFit returns a first-fit contiguous submesh allocator.
 func NewSubmeshFirstFit(m *mesh.Mesh) *SubmeshFirstFit {
-	return &SubmeshFirstFit{tracker: newTracker(m)}
+	return &SubmeshFirstFit{tracker: newTracker(m.Grid()), m: m}
 }
 
 // Name implements Allocator.
@@ -76,6 +79,13 @@ func (a *SubmeshFirstFit) candidateShapes(req Request) [][2]int {
 }
 
 func squareness(s [2]int) int { return abs(s[0] - s[1]) }
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
 
 // findFree returns the first size processors of the first fully-free
 // w x h submesh in row-major anchor order, or nil.

@@ -103,14 +103,14 @@ func TestBuddyRequiresSquarePow2(t *testing.T) {
 }
 
 func TestBuddySpecValidation(t *testing.T) {
-	if _, err := Spec(mesh.New(16, 22), "buddy", 1); err == nil {
+	if _, err := Spec(mesh.New(16, 22).Grid(), "buddy", 1); err == nil {
 		t.Fatal("buddy spec on non-square mesh should fail")
 	}
-	a, err := Spec(mesh.New(16, 16), "buddy", 1)
+	a, err := Spec(mesh.New(16, 16).Grid(), "buddy", 1)
 	if err != nil || a.Name() != "buddy" {
 		t.Fatalf("buddy spec: %v, %v", a, err)
 	}
-	s, err := Spec(mesh.New(16, 22), "submesh", 1)
+	s, err := Spec(mesh.New(16, 22).Grid(), "submesh", 1)
 	if err != nil || s.Name() != "submesh" {
 		t.Fatalf("submesh spec: %v, %v", s, err)
 	}

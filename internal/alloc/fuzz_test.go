@@ -19,7 +19,7 @@ func FuzzSpec(f *testing.F) {
 	f.Add("")
 	m := mesh.New(8, 8)
 	f.Fuzz(func(t *testing.T, spec string) {
-		a, err := Spec(m, spec, 1)
+		a, err := Spec(m.Grid(), spec, 1)
 		if err != nil {
 			return
 		}

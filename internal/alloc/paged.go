@@ -5,20 +5,21 @@ import (
 
 	"meshalloc/internal/binpack"
 	"meshalloc/internal/curve"
-	"meshalloc/internal/mesh"
+	"meshalloc/internal/topo"
 )
 
 // PagedPaging is the original Paging algorithm of Lo et al. with page
-// size parameter s: the mesh is divided into 2^s x 2^s pages, pages are
-// ordered by a curve over the page grid, and jobs receive whole pages.
-// The paper fixes s = 0 (package type Paging) to avoid the internal
-// fragmentation this variant exhibits: a job of k processors holds
-// ceil(k / 4^s) pages, wasting the remainder of its last page.
+// size parameter s: the machine is divided into pages of side 2^s per
+// axis, pages are ordered by a curve over the page grid, and jobs
+// receive whole pages. The paper fixes s = 0 (package type Paging) to
+// avoid the internal fragmentation this variant exhibits: a job of k
+// processors holds ceil(k / pageVolume) pages, wasting the remainder of
+// its last page.
 //
-// Pages that hang off a non-multiple-of-2^s mesh are clipped, so edge
-// pages may hold fewer than 4^s processors.
+// Pages that hang off a non-multiple-of-2^s machine are clipped, so edge
+// pages may hold fewer processors than interior ones.
 type PagedPaging struct {
-	m        *mesh.Mesh
+	g        *topo.Grid
 	c        curve.Curve
 	strat    binpack.Strategy
 	s        int   // page size exponent
@@ -30,41 +31,58 @@ type PagedPaging struct {
 	numFree  int // free processors, counting whole free pages
 }
 
-// NewPagedPaging returns a Paging allocator with page size s (side 2^s)
-// using curve c over the page grid and selection strategy strat. It
-// panics if s is negative or the page side exceeds either mesh
-// dimension: page geometry is static configuration.
-func NewPagedPaging(m *mesh.Mesh, c curve.Curve, strat binpack.Strategy, s int) *PagedPaging {
+// NewPagedPaging returns a Paging allocator with page size s (side 2^s
+// per axis) using curve c over the page grid and selection strategy
+// strat. It panics if s is negative, the page side exceeds any machine
+// axis, or the curve cannot order the page grid: page geometry is static
+// configuration.
+func NewPagedPaging(g *topo.Grid, c curve.Curve, strat binpack.Strategy, s int) *PagedPaging {
 	if s < 0 {
 		panic(fmt.Sprintf("alloc: negative page size %d", s))
 	}
 	side := 1 << uint(s)
-	if side > m.Width() || side > m.Height() {
-		panic(fmt.Sprintf("alloc: page side %d exceeds mesh %dx%d", side, m.Width(), m.Height()))
+	nd := g.ND()
+	pageDims := make([]int, nd)
+	for i := 0; i < nd; i++ {
+		if side > g.Dim(i) {
+			panic(fmt.Sprintf("alloc: page side %d exceeds machine axis %d (extent %d)", side, i, g.Dim(i)))
+		}
+		pageDims[i] = (g.Dim(i) + side - 1) / side
 	}
-	pw := (m.Width() + side - 1) / side
-	ph := (m.Height() + side - 1) / side
 
 	p := &PagedPaging{
-		m:     m,
+		g:     g,
 		c:     c,
 		strat: strat,
 		s:     s,
 		side:  side,
 	}
-	// Page grid ordering: run the curve over the pw x ph page mesh.
-	pageOrder := c.Order(pw, ph)
-	p.pages = make([][]int, pw*ph)
-	p.pageOf = make([]int, m.Size())
-	for id := 0; id < m.Size(); id++ {
-		pt := m.Coord(id)
-		page := (pt.Y/side)*pw + pt.X/side
+	// Page grid ordering: run the curve over the page grid.
+	pageOrder, err := curve.GridOrder(c, pageDims)
+	if err != nil {
+		panic(fmt.Sprintf("alloc: %v", err))
+	}
+	// Page strides mirror the dense-id layout of the page grid.
+	pageStride := make([]int, nd)
+	numPages := 1
+	for i := 0; i < nd; i++ {
+		pageStride[i] = numPages
+		numPages *= pageDims[i]
+	}
+	p.pages = make([][]int, numPages)
+	p.pageOf = make([]int, g.Size())
+	for id := 0; id < g.Size(); id++ {
+		pt := g.Coord(id)
+		page := 0
+		for i := 0; i < nd; i++ {
+			page += (pt[i] / side) * pageStride[i]
+		}
 		p.pageOf[id] = page
 		p.pages[page] = append(p.pages[page], id)
 	}
 	p.packer = binpack.New(pageOrder)
-	p.pageBusy = make([]bool, pw*ph)
-	p.numFree = m.Size()
+	p.pageBusy = make([]bool, numPages)
+	p.numFree = g.Size()
 	return p
 }
 
@@ -85,7 +103,7 @@ func (p *PagedPaging) Allocate(req Request) ([]int, error) {
 		return nil, ErrInsufficient
 	}
 	// Gather pages until the processor count is covered; edge pages may
-	// be clipped, so the page count is not simply ceil(size/side^2).
+	// be clipped, so the page count is not simply size over page volume.
 	var pageIDs []int
 	covered := 0
 	for covered < req.Size {
@@ -144,5 +162,5 @@ func (p *PagedPaging) Reset() {
 	for i := range p.pageBusy {
 		p.pageBusy[i] = false
 	}
-	p.numFree = p.m.Size()
+	p.numFree = p.g.Size()
 }

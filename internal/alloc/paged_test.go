@@ -13,7 +13,7 @@ func TestPagedSpecRoundTrip(t *testing.T) {
 	for _, spec := range []string{
 		"hilbert/freelist/page1", "scurve/bestfit/page2", "hindex/firstfit/page0",
 	} {
-		a, err := Spec(m, spec, 1)
+		a, err := Spec(m.Grid(), spec, 1)
 		if err != nil {
 			t.Fatalf("Spec(%q): %v", spec, err)
 		}
@@ -26,7 +26,7 @@ func TestPagedSpecRoundTrip(t *testing.T) {
 		"hilbert/bestfit/page9", // 512-side page on a 16x16 mesh
 		"hilbert/bestfit/page1/extra",
 	} {
-		if _, err := Spec(m, bad, 1); err == nil {
+		if _, err := Spec(m.Grid(), bad, 1); err == nil {
 			t.Errorf("Spec(%q) should fail", bad)
 		}
 	}
@@ -34,7 +34,7 @@ func TestPagedSpecRoundTrip(t *testing.T) {
 
 func TestPagedAllocatesWholePages(t *testing.T) {
 	m := mesh.New(8, 8)
-	a := NewPagedPaging(m, curve.Hilbert{}, binpack.FreeList, 1) // 2x2 pages
+	a := NewPagedPaging(m.Grid(), curve.Hilbert{}, binpack.FreeList, 1) // 2x2 pages
 	// A 3-processor job holds one full 2x2 page: one processor wasted.
 	ids, err := a.Allocate(Request{Size: 3})
 	if err != nil {
@@ -65,7 +65,7 @@ func TestPagedAllocatesWholePages(t *testing.T) {
 
 func TestPagedFragmentationWastesProcessors(t *testing.T) {
 	m := mesh.New(8, 8)
-	a := NewPagedPaging(m, curve.Hilbert{}, binpack.FreeList, 2) // 4x4 pages
+	a := NewPagedPaging(m.Grid(), curve.Hilbert{}, binpack.FreeList, 2) // 4x4 pages
 	// Four 1-processor jobs each burn a 16-processor page; a fifth
 	// request the size of the remaining free count still succeeds, but
 	// a request exceeding it must fail with ErrInsufficient — the
@@ -96,7 +96,7 @@ func TestPagedClippedEdgePages(t *testing.T) {
 	// A 5x5 mesh with 2x2 pages has clipped pages along the far edges;
 	// allocation bookkeeping must still balance.
 	m := mesh.New(5, 5)
-	a := NewPagedPaging(m, curve.SCurve{}, binpack.BestFit, 1)
+	a := NewPagedPaging(m.Grid(), curve.SCurve{}, binpack.BestFit, 1)
 	ids, err := a.Allocate(Request{Size: 25})
 	if err != nil {
 		t.Fatal(err)
@@ -112,8 +112,8 @@ func TestPagedClippedEdgePages(t *testing.T) {
 
 func TestPagedZeroIsPlainPaging(t *testing.T) {
 	m := mesh.New(8, 8)
-	paged := NewPagedPaging(m, curve.Hilbert{}, binpack.BestFit, 0)
-	plain := NewPaging(m, curve.Hilbert{}, binpack.BestFit)
+	paged := NewPagedPaging(m.Grid(), curve.Hilbert{}, binpack.BestFit, 0)
+	plain := NewPaging(m.Grid(), curve.Hilbert{}, binpack.BestFit)
 	for _, size := range []int{1, 7, 16, 5} {
 		a, err1 := paged.Allocate(Request{Size: size})
 		b, err2 := plain.Allocate(Request{Size: size})
@@ -140,14 +140,14 @@ func TestPagedPanicsOnBadConfig(t *testing.T) {
 					t.Errorf("page size %d should panic", s)
 				}
 			}()
-			NewPagedPaging(m, curve.Hilbert{}, binpack.FreeList, s)
+			NewPagedPaging(m.Grid(), curve.Hilbert{}, binpack.FreeList, s)
 		}()
 	}
 }
 
 func TestPagedDoubleReleasePanics(t *testing.T) {
 	m := mesh.New(8, 8)
-	a := NewPagedPaging(m, curve.Hilbert{}, binpack.FreeList, 1)
+	a := NewPagedPaging(m.Grid(), curve.Hilbert{}, binpack.FreeList, 1)
 	ids, _ := a.Allocate(Request{Size: 4})
 	a.Release(ids)
 	defer func() {
@@ -160,7 +160,7 @@ func TestPagedDoubleReleasePanics(t *testing.T) {
 
 func TestPagedReset(t *testing.T) {
 	m := mesh.New(8, 8)
-	a := NewPagedPaging(m, curve.Hilbert{}, binpack.FreeList, 1)
+	a := NewPagedPaging(m.Grid(), curve.Hilbert{}, binpack.FreeList, 1)
 	a.Allocate(Request{Size: 10})
 	a.Reset()
 	if a.NumFree() != 64 {

@@ -105,3 +105,28 @@ func TestExtensionByID(t *testing.T) {
 		t.Fatalf("ExtensionByID: %v, %v", fig, err)
 	}
 }
+
+func TestExtCube3DStructure(t *testing.T) {
+	fig, err := ExtCube3D(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := fig.Tables[0]
+	if want := len(cube3DNative) + len(cube3DProjected); len(tab.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), want)
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasSuffix(row[3], "%") {
+			t.Fatalf("contiguity cell %q not a percentage", row[3])
+		}
+	}
+	penalties := 0
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "projection penalty") {
+			penalties++
+		}
+	}
+	if penalties != 3 {
+		t.Fatalf("%d projection-penalty notes, want 3", penalties)
+	}
+}

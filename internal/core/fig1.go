@@ -74,7 +74,7 @@ func Fig1(o Options) (*Figure, error) {
 // runIsolatedJob runs one job's communication to completion on an
 // otherwise idle machine and returns the elapsed simulated time.
 func runIsolatedJob(m *mesh.Mesh, nodes []int, pat comm.Pattern, rounds int, seed int64) float64 {
-	net := netsim.New(m, netsim.DefaultConfig())
+	net := netsim.New(m.Grid(), netsim.DefaultConfig())
 	gen := pat.Generator(len(nodes), stats.NewRNG(seed))
 	quota := rounds * comm.RoundLen(pat, len(nodes))
 

@@ -1,21 +1,26 @@
-// Package cube extends the paper's one-dimensional-reduction idea to
-// three-dimensional meshes — the topology of CPlant itself (the paper
-// projects it to 2-D) and the subject of its Alber–Niedermeier reference
-// on multidimensional Hilbert indexings.
+// Package cube is the 3-D facade over the dimension-generic topology
+// and curve layers: the allocation-quality study on three-dimensional
+// meshes — the topology of CPlant itself (the paper projects it to 2-D)
+// and the subject of its Alber–Niedermeier reference on multidimensional
+// Hilbert indexings.
 //
-// The package is a self-contained allocation-quality study: a 3-D mesh,
-// a 3-D Hilbert curve (the Butz construction specialized to three
-// dimensions via Gray-code reflection), a 3-D snake, and a
-// ring-growing MC1x1 analogue, with the average-pairwise-distance metric
-// used to compare them under synthetic machine occupancy. It deliberately
-// stops short of a full 3-D network simulation: the paper's network
-// conclusions are 2-D, and allocation quality is the transferable part.
+// The geometry lives in internal/topo and the 3-D Hilbert and snake
+// constructions in internal/curve; this package keeps the 3-D
+// vocabulary (Point3, Mesh3, Curve3) and the self-contained churn study
+// comparing curve-order paging against ring growing by average pairwise
+// distance. The full 3-D *network* simulation — allocation plus
+// contention — is no longer out of scope: sim.Config{Dims: []int{w, h,
+// d}} runs it natively, and the ext-cube3d experiment compares native
+// 3-D allocation against the paper's 2-D projection on exactly that
+// machine.
 package cube
 
 import (
 	"fmt"
 
+	"meshalloc/internal/curve"
 	"meshalloc/internal/stats"
+	"meshalloc/internal/topo"
 )
 
 // Point3 is a node coordinate on a 3-D mesh.
@@ -35,8 +40,10 @@ func abs(v int) int {
 	return v
 }
 
-// Mesh3 is a W x H x D 3-D mesh with dense node ids in x-fastest order.
+// Mesh3 is a W x H x D 3-D mesh with dense node ids in x-fastest order,
+// a thin view over the generic grid.
 type Mesh3 struct {
+	g       *topo.Grid
 	w, h, d int
 }
 
@@ -45,11 +52,14 @@ func New3(w, h, d int) *Mesh3 {
 	if w <= 0 || h <= 0 || d <= 0 {
 		panic(fmt.Sprintf("cube: invalid dimensions %dx%dx%d", w, h, d))
 	}
-	return &Mesh3{w: w, h: h, d: d}
+	return &Mesh3{g: topo.New([]int{w, h, d}), w: w, h: h, d: d}
 }
 
+// Grid returns the underlying dimension-generic grid.
+func (m *Mesh3) Grid() *topo.Grid { return m.g }
+
 // Size returns the processor count.
-func (m *Mesh3) Size() int { return m.w * m.h * m.d }
+func (m *Mesh3) Size() int { return m.g.Size() }
 
 // Dims returns the mesh extents.
 func (m *Mesh3) Dims() (w, h, d int) { return m.w, m.h, m.d }
@@ -64,32 +74,15 @@ func (m *Mesh3) ID(p Point3) int {
 
 // Coord maps a dense id back to its coordinate.
 func (m *Mesh3) Coord(id int) Point3 {
-	if id < 0 || id >= m.Size() {
-		panic(fmt.Sprintf("cube: id %d out of range", id))
-	}
-	x := id % m.w
-	y := (id / m.w) % m.h
-	z := id / (m.w * m.h)
-	return Point3{X: x, Y: y, Z: z}
+	p := m.g.Coord(id)
+	return Point3{X: p[0], Y: p[1], Z: p[2]}
 }
 
 // Dist returns the hop distance between two nodes.
-func (m *Mesh3) Dist(a, b int) int { return m.Coord(a).Manhattan(m.Coord(b)) }
+func (m *Mesh3) Dist(a, b int) int { return m.g.Dist(a, b) }
 
 // AvgPairwiseDist returns the mean pairwise hop distance of a node set.
-func (m *Mesh3) AvgPairwiseDist(ids []int) float64 {
-	if len(ids) < 2 {
-		return 0
-	}
-	total := 0
-	for i := range ids {
-		pi := m.Coord(ids[i])
-		for j := i + 1; j < len(ids); j++ {
-			total += pi.Manhattan(m.Coord(ids[j]))
-		}
-	}
-	return float64(total) / float64(len(ids)*(len(ids)-1)/2)
-}
+func (m *Mesh3) AvgPairwiseDist(ids []int) float64 { return m.g.AvgPairwiseDist(ids) }
 
 // Curve3 orders the nodes of a 3-D mesh.
 type Curve3 interface {
@@ -99,7 +92,8 @@ type Curve3 interface {
 }
 
 // Snake3 is the 3-D boustrophedon: x runs alternate within y layers,
-// y runs alternate within z slabs.
+// y runs alternate within z slabs. It delegates to the n-D snake of the
+// curve package.
 type Snake3 struct{}
 
 // Name implements Curve3.
@@ -107,44 +101,13 @@ func (Snake3) Name() string { return "snake3" }
 
 // Order implements Curve3.
 func (Snake3) Order(m *Mesh3) []int {
-	order := make([]int, 0, m.Size())
-	for z := 0; z < m.d; z++ {
-		ys := ascending(m.h)
-		if z%2 == 1 {
-			ys = descending(m.h)
-		}
-		for yi, y := range ys {
-			xs := ascending(m.w)
-			if (yi+z*m.h)%2 == 1 {
-				xs = descending(m.w)
-			}
-			for _, x := range xs {
-				order = append(order, m.ID(Point3{X: x, Y: y, Z: z}))
-			}
-		}
-	}
-	return order
-}
-
-func ascending(n int) []int {
-	v := make([]int, n)
-	for i := range v {
-		v[i] = i
-	}
-	return v
-}
-
-func descending(n int) []int {
-	v := make([]int, n)
-	for i := range v {
-		v[i] = n - 1 - i
-	}
-	return v
+	return curve.SCurve{}.OrderDims([]int{m.w, m.h, m.d})
 }
 
 // Hilbert3 is the 3-D Hilbert curve built from the Butz/Gray-code
-// construction and truncated from the enclosing power-of-two cube, like
-// the 2-D curves of the paper's Figure 6.
+// construction (Skilling's transpose algorithm) and truncated from the
+// enclosing power-of-two cube, like the 2-D curves of the paper's
+// Figure 6. It delegates to the n-D Hilbert of the curve package.
 type Hilbert3 struct{}
 
 // Name implements Curve3.
@@ -152,61 +115,7 @@ func (Hilbert3) Name() string { return "hilbert3" }
 
 // Order implements Curve3.
 func (Hilbert3) Order(m *Mesh3) []int {
-	n := 2
-	for n < m.w || n < m.h || n < m.d {
-		n *= 2
-	}
-	order := make([]int, 0, m.Size())
-	total := n * n * n
-	for dd := 0; dd < total; dd++ {
-		p := hilbert3D2XYZ(n, dd)
-		if p.X < m.w && p.Y < m.h && p.Z < m.d {
-			order = append(order, m.ID(p))
-		}
-	}
-	return order
-}
-
-// hilbert3D2XYZ converts a curve index to 3-D coordinates on an n^3 cube
-// (n a power of two) using Skilling's transpose algorithm ("Programming
-// the Hilbert curve", AIP 2004), the standard multidimensional Hilbert
-// construction the paper's Alber–Niedermeier reference generalizes.
-func hilbert3D2XYZ(n, d int) Point3 {
-	const dims = 3
-	b := 0
-	for 1<<uint(b) < n {
-		b++
-	}
-	// Untranspose the index: bit lvl of axis i comes from bit
-	// (dims*lvl + (dims-1-i)) of d, most-significant level first.
-	var x [dims]uint32
-	for lvl := 0; lvl < b; lvl++ {
-		for i := 0; i < dims; i++ {
-			if d>>(uint(dims*lvl+(dims-1-i)))&1 == 1 {
-				x[i] |= 1 << uint(lvl)
-			}
-		}
-	}
-	// Gray decode.
-	t := x[dims-1] >> 1
-	for i := dims - 1; i > 0; i-- {
-		x[i] ^= x[i-1]
-	}
-	x[0] ^= t
-	// Undo excess work.
-	for q := uint32(2); q != uint32(n); q <<= 1 {
-		p := q - 1
-		for i := dims - 1; i >= 0; i-- {
-			if x[i]&q != 0 {
-				x[0] ^= p // invert low bits of x[0]
-			} else {
-				t := (x[0] ^ x[i]) & p
-				x[0] ^= t
-				x[i] ^= t // exchange low bits of x[0] and x[i]
-			}
-		}
-	}
-	return Point3{X: int(x[0]), Y: int(x[1]), Z: int(x[2])}
+	return curve.Hilbert{}.OrderDims([]int{m.w, m.h, m.d})
 }
 
 // RingAlloc is the 3-D MC1x1 analogue: it gathers the request size in
@@ -346,7 +255,8 @@ type StudyResult struct {
 // Study drives an allocate/release churn of jobs (uniform sizes in
 // [minSize, maxSize]) through each strategy on an otherwise identical
 // sequence and reports mean average pairwise distance — the 3-D version
-// of the paper's allocation-quality comparison.
+// of the paper's allocation-quality comparison. The full contention
+// simulation on the same machines lives in the ext-cube3d experiment.
 func Study(m *Mesh3, jobs, minSize, maxSize int, seed int64) []StudyResult {
 	type allocator interface {
 		Allocate(size int) ([]int, error)

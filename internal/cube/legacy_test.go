@@ -1,0 +1,114 @@
+package cube
+
+import "testing"
+
+// Literal transcriptions of the original self-contained 3-D curve
+// constructions, kept so the delegation to the dimension-generic curve
+// package is provably bit-identical — the 3-D study results must not
+// shift under the topology-layer refactor.
+
+func legacySnake3(m *Mesh3) []int {
+	ascending := func(n int) []int {
+		v := make([]int, n)
+		for i := range v {
+			v[i] = i
+		}
+		return v
+	}
+	descending := func(n int) []int {
+		v := make([]int, n)
+		for i := range v {
+			v[i] = n - 1 - i
+		}
+		return v
+	}
+	order := make([]int, 0, m.Size())
+	for z := 0; z < m.d; z++ {
+		ys := ascending(m.h)
+		if z%2 == 1 {
+			ys = descending(m.h)
+		}
+		for yi, y := range ys {
+			xs := ascending(m.w)
+			if (yi+z*m.h)%2 == 1 {
+				xs = descending(m.w)
+			}
+			for _, x := range xs {
+				order = append(order, m.ID(Point3{X: x, Y: y, Z: z}))
+			}
+		}
+	}
+	return order
+}
+
+func legacyHilbert3(m *Mesh3) []int {
+	hilbert3D2XYZ := func(n, d int) Point3 {
+		const dims = 3
+		b := 0
+		for 1<<uint(b) < n {
+			b++
+		}
+		var x [dims]uint32
+		for lvl := 0; lvl < b; lvl++ {
+			for i := 0; i < dims; i++ {
+				if d>>(uint(dims*lvl+(dims-1-i)))&1 == 1 {
+					x[i] |= 1 << uint(lvl)
+				}
+			}
+		}
+		t := x[dims-1] >> 1
+		for i := dims - 1; i > 0; i-- {
+			x[i] ^= x[i-1]
+		}
+		x[0] ^= t
+		for q := uint32(2); q != uint32(n); q <<= 1 {
+			p := q - 1
+			for i := dims - 1; i >= 0; i-- {
+				if x[i]&q != 0 {
+					x[0] ^= p
+				} else {
+					t := (x[0] ^ x[i]) & p
+					x[0] ^= t
+					x[i] ^= t
+				}
+			}
+		}
+		return Point3{X: int(x[0]), Y: int(x[1]), Z: int(x[2])}
+	}
+	n := 2
+	for n < m.w || n < m.h || n < m.d {
+		n *= 2
+	}
+	order := make([]int, 0, m.Size())
+	total := n * n * n
+	for dd := 0; dd < total; dd++ {
+		p := hilbert3D2XYZ(n, dd)
+		if p.X < m.w && p.Y < m.h && p.Z < m.d {
+			order = append(order, m.ID(p))
+		}
+	}
+	return order
+}
+
+func TestDelegatedCurvesMatchLegacyConstructions(t *testing.T) {
+	for _, dims := range [][3]int{{2, 2, 2}, {4, 4, 4}, {8, 8, 8}, {3, 5, 2}, {4, 3, 6}, {5, 7, 3}} {
+		m := New3(dims[0], dims[1], dims[2])
+		gotS := Snake3{}.Order(m)
+		wantS := legacySnake3(m)
+		for i := range wantS {
+			if gotS[i] != wantS[i] {
+				t.Fatalf("%v snake3 diverges from legacy at rank %d: %d vs %d", dims, i, gotS[i], wantS[i])
+			}
+		}
+		gotH := Hilbert3{}.Order(m)
+		wantH := legacyHilbert3(m)
+		if len(gotH) != len(wantH) {
+			t.Fatalf("%v hilbert3 length %d vs legacy %d", dims, len(gotH), len(wantH))
+		}
+		for i := range wantH {
+			if gotH[i] != wantH[i] {
+				t.Fatalf("%v hilbert3 diverges from legacy at rank %d: %d vs %d", dims, i, gotH[i], wantH[i])
+			}
+		}
+	}
+}

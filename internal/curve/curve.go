@@ -12,6 +12,7 @@ package curve
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"meshalloc/internal/mesh"
 )
@@ -65,8 +66,17 @@ func nextPow2(n int) int {
 }
 
 // ByName returns the curve registered under name. Recognized names:
-// "rowmajor", "scurve", "scurve-long", "hilbert", "hindex".
+// "rowmajor", "scurve", "scurve-long", "hilbert", "hindex", "zorder",
+// "moore", and "proj2d-<name>" for the 2-D projection of any of them
+// onto higher-dimensional grids.
 func ByName(name string) (Curve, error) {
+	if rest, ok := strings.CutPrefix(name, ProjectedPrefix); ok {
+		inner, err := ByName(rest)
+		if err != nil {
+			return nil, err
+		}
+		return Projected{Inner: inner}, nil
+	}
 	switch name {
 	case "rowmajor":
 		return RowMajor{}, nil

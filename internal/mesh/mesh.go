@@ -1,7 +1,15 @@
-// Package mesh models the 2-D mesh interconnect topology used by the
-// simulator: node coordinates, the Manhattan metric, x-y dimension-ordered
-// routing, directed links, submeshes, the "shells" used by the MC allocator,
-// and rectilinear connectivity (components) of processor sets.
+// Package mesh is the 2-D facade over the dimension-generic topology
+// core in internal/topo: node coordinates, the Manhattan metric, x-y
+// dimension-ordered routing, directed links, submeshes, the "shells"
+// used by the MC allocator, and rectilinear connectivity (components) of
+// processor sets, all specialized to the Width x Height meshes the
+// paper's experiments run on.
+//
+// Everything geometric delegates to topo.Grid — the mesh keeps only the
+// 2-D vocabulary (Point with X/Y fields, Submesh, the four named link
+// directions) plus the inlining-sensitive id arithmetic. Callers that
+// need n-dimensional machines use topo.Grid directly; Grid exposes the
+// underlying grid of a mesh so 2-D and n-D code interoperate.
 //
 // Nodes are identified by dense integer ids in row-major order:
 // id = y*Width + x with 0 <= x < Width and 0 <= y < Height.
@@ -9,7 +17,8 @@ package mesh
 
 import (
 	"fmt"
-	"sort"
+
+	"meshalloc/internal/topo"
 )
 
 // Point is a node coordinate on the mesh.
@@ -35,10 +44,14 @@ func abs(v int) int {
 	return v
 }
 
+// pt converts a mesh coordinate to a generic grid coordinate.
+func pt(p Point) topo.Point { return topo.Point{p.X, p.Y} }
+
 // Mesh is a Width x Height 2-D mesh of processors, optionally with
 // torus wraparound links. The zero value is not usable; construct with
 // New or NewTorus.
 type Mesh struct {
+	g      *topo.Grid
 	width  int
 	height int
 	torus  bool
@@ -51,7 +64,7 @@ func New(width, height int) *Mesh {
 	if width <= 0 || height <= 0 {
 		panic(fmt.Sprintf("mesh: invalid dimensions %dx%d", width, height))
 	}
-	return &Mesh{width: width, height: height}
+	return &Mesh{g: topo.New([]int{width, height}), width: width, height: height}
 }
 
 // NewTorus returns a mesh whose rows and columns wrap around — the
@@ -60,9 +73,23 @@ func New(width, height int) *Mesh {
 // way around each axis.
 func NewTorus(width, height int) *Mesh {
 	m := New(width, height)
+	m.g = topo.NewTorus([]int{width, height})
 	m.torus = true
 	return m
 }
+
+// FromGrid returns the 2-D mesh view of a two-dimensional grid, sharing
+// the grid. It panics when the grid is not 2-D: callers gate on ND
+// before asking for a mesh view.
+func FromGrid(g *topo.Grid) *Mesh {
+	if g.ND() != 2 {
+		panic(fmt.Sprintf("mesh: FromGrid of %d-D grid", g.ND()))
+	}
+	return &Mesh{g: g, width: g.Dim(0), height: g.Dim(1), torus: g.Torus()}
+}
+
+// Grid returns the underlying dimension-generic grid.
+func (m *Mesh) Grid() *topo.Grid { return m.g }
 
 // Torus reports whether the mesh has wraparound links.
 func (m *Mesh) Torus() bool { return m.torus }
@@ -85,7 +112,8 @@ func (m *Mesh) Contains(p Point) bool {
 // mesh. The panic messages here and in Coord are constant strings rather
 // than formatted ones: both functions sit on every hot path of the
 // simulator and a fmt call — even an unreached one — would push them past
-// the compiler's inlining budget.
+// the compiler's inlining budget, which is also why the 2-D arithmetic is
+// kept inline instead of delegating to the generic grid.
 func (m *Mesh) ID(p Point) int {
 	if !m.Contains(p) {
 		panic("mesh: ID of point outside the mesh")
@@ -121,28 +149,15 @@ func (m *Mesh) axisDist(a, b, extent int) int {
 // AvgPairwiseDist returns the mean hop distance over all unordered pairs
 // of the given node ids. It returns 0 for fewer than two nodes. This is
 // the dispersal metric of Mache and Lo that MC1x1 and Gen-Alg minimize.
-func (m *Mesh) AvgPairwiseDist(ids []int) float64 {
-	if len(ids) < 2 {
-		return 0
-	}
-	pairs := len(ids) * (len(ids) - 1) / 2
-	return float64(m.TotalPairwiseDist(ids)) / float64(pairs)
-}
+func (m *Mesh) AvgPairwiseDist(ids []int) float64 { return m.g.AvgPairwiseDist(ids) }
 
 // TotalPairwiseDist returns the sum of hop distances over all unordered
 // pairs of the given node ids.
-func (m *Mesh) TotalPairwiseDist(ids []int) int {
-	total := 0
-	for i := 0; i < len(ids); i++ {
-		for j := i + 1; j < len(ids); j++ {
-			total += m.Dist(ids[i], ids[j])
-		}
-	}
-	return total
-}
+func (m *Mesh) TotalPairwiseDist(ids []int) int { return m.g.TotalPairwiseDist(ids) }
 
-// Direction identifies one of the four mesh link directions.
-type Direction int
+// Direction identifies one of the four mesh link directions. It is the
+// generic topo.Dir restricted to axes x and y.
+type Direction = topo.Dir
 
 // Link directions. XPos is toward increasing x, YNeg toward decreasing y,
 // and so on.
@@ -153,85 +168,32 @@ const (
 	YNeg
 )
 
-// String implements fmt.Stringer.
-func (d Direction) String() string {
-	switch d {
-	case XPos:
-		return "+x"
-	case XNeg:
-		return "-x"
-	case YPos:
-		return "+y"
-	case YNeg:
-		return "-y"
-	default:
-		return fmt.Sprintf("Direction(%d)", int(d))
-	}
-}
-
 // Link is a directed channel from node From to an adjacent node. Two
 // adjacent nodes are joined by two links, one in each direction, as in a
 // full-duplex mesh.
-type Link struct {
-	From int
-	Dir  Direction
-}
+type Link = topo.Link
 
 // NumLinks returns the number of distinct directed links on the mesh,
 // used to size dense link-state tables.
-func (m *Mesh) NumLinks() int {
-	// Every node nominally owns 4 outgoing links; edge nodes own fewer,
-	// but a dense 4-per-node table is simpler and the waste is tiny.
-	return m.Size() * 4
-}
+func (m *Mesh) NumLinks() int { return m.g.NumLinks() }
 
 // LinkIndex returns a dense index for l suitable for flat link-state
 // arrays; the inverse of LinkAt.
-func (m *Mesh) LinkIndex(l Link) int {
-	return l.From*4 + int(l.Dir)
-}
+func (m *Mesh) LinkIndex(l Link) int { return m.g.LinkIndex(l) }
 
 // LinkAt returns the link with the given dense index.
-func (m *Mesh) LinkAt(idx int) Link {
-	return Link{From: idx / 4, Dir: Direction(idx % 4)}
-}
-
-// step returns the coordinate delta for a direction.
-func step(d Direction) Point {
-	switch d {
-	case XPos:
-		return Point{1, 0}
-	case XNeg:
-		return Point{-1, 0}
-	case YPos:
-		return Point{0, 1}
-	default:
-		return Point{0, -1}
-	}
-}
+func (m *Mesh) LinkAt(idx int) Link { return m.g.LinkAt(idx) }
 
 // Neighbor returns the node adjacent to id in direction d and true, or
 // (-1, false) when the link would leave a plain mesh. On a torus every
 // direction wraps, so the second result is always true.
-func (m *Mesh) Neighbor(id int, d Direction) (int, bool) {
-	p := m.Coord(id).Add(step(d))
-	if !m.Contains(p) {
-		if !m.torus {
-			return -1, false
-		}
-		p.X = (p.X + m.width) % m.width
-		p.Y = (p.Y + m.height) % m.height
-	}
-	return m.ID(p), true
-}
+func (m *Mesh) Neighbor(id int, d Direction) (int, bool) { return m.g.Neighbor(id, d) }
 
 // Route returns the x-y dimension-ordered route from src to dst as the
 // ordered sequence of directed links traversed: first all x hops, then all
 // y hops, exactly as Paragon-/CPlant-style mesh routers forward wormhole
 // packets. An empty slice means src == dst.
-func (m *Mesh) Route(src, dst int) []Link {
-	return m.AppendRoute(make([]Link, 0, m.Dist(src, dst)), src, dst)
-}
+func (m *Mesh) Route(src, dst int) []Link { return m.g.Route(src, dst) }
 
 // RouteYX returns the y-x dimension-ordered route (all y hops first), the
 // alternative deterministic routing used for routing-sensitivity studies.
@@ -243,82 +205,12 @@ func (m *Mesh) RouteYX(src, dst int) []Link {
 // links and returns the extended slice. It is the allocation-free variant
 // of Route for callers that reuse a scratch buffer per message.
 func (m *Mesh) AppendRoute(links []Link, src, dst int) []Link {
-	return m.appendRouteDimOrdered(links, src, dst, true)
+	return m.g.AppendRoute(links, src, dst)
 }
 
 // AppendRouteYX is AppendRoute for y-x dimension-ordered routing.
 func (m *Mesh) AppendRouteYX(links []Link, src, dst int) []Link {
-	return m.appendRouteDimOrdered(links, src, dst, false)
-}
-
-func (m *Mesh) appendRouteDimOrdered(links []Link, src, dst int, xFirst bool) []Link {
-	cur, d := m.Coord(src), m.Coord(dst)
-	if xFirst {
-		links = m.appendXHops(links, &cur, d.X)
-		links = m.appendYHops(links, &cur, d.Y)
-	} else {
-		links = m.appendYHops(links, &cur, d.Y)
-		links = m.appendXHops(links, &cur, d.X)
-	}
-	return links
-}
-
-// axisDir picks the traversal direction along one axis; on a torus it
-// takes the shorter way around (positive on ties).
-func (m *Mesh) axisDir(from, to, extent int, pos, neg Direction) Direction {
-	if !m.torus {
-		if to > from {
-			return pos
-		}
-		return neg
-	}
-	forward := ((to - from) + extent) % extent
-	if forward <= extent-forward {
-		return pos
-	}
-	return neg
-}
-
-// appendXHops walks cur along the x axis to the target column, appending
-// the links traversed.
-func (m *Mesh) appendXHops(links []Link, cur *Point, target int) []Link {
-	for cur.X != target {
-		dir := m.axisDir(cur.X, target, m.width, XPos, XNeg)
-		links = append(links, Link{From: m.ID(*cur), Dir: dir})
-		if dir == XPos {
-			cur.X++
-			if cur.X == m.width {
-				cur.X = 0
-			}
-		} else {
-			cur.X--
-			if cur.X < 0 {
-				cur.X = m.width - 1
-			}
-		}
-	}
-	return links
-}
-
-// appendYHops walks cur along the y axis to the target row, appending the
-// links traversed.
-func (m *Mesh) appendYHops(links []Link, cur *Point, target int) []Link {
-	for cur.Y != target {
-		dir := m.axisDir(cur.Y, target, m.height, YPos, YNeg)
-		links = append(links, Link{From: m.ID(*cur), Dir: dir})
-		if dir == YPos {
-			cur.Y++
-			if cur.Y == m.height {
-				cur.Y = 0
-			}
-		} else {
-			cur.Y--
-			if cur.Y < 0 {
-				cur.Y = m.height - 1
-			}
-		}
-	}
-	return links
+	return m.g.AppendRouteRev(links, src, dst)
 }
 
 // RouteLen returns the number of links on the x-y route from src to dst,
@@ -340,6 +232,11 @@ func (s Submesh) Contains(p Point) bool {
 // Area returns the number of nodes covered by the submesh.
 func (s Submesh) Area() int { return s.W * s.H }
 
+// box converts a submesh to the generic box form.
+func box(s Submesh) topo.Box {
+	return topo.Box{Origin: topo.Point{s.Origin.X, s.Origin.Y}, Ext: topo.Point{s.W, s.H, 1, 1}}
+}
+
 // Nodes returns the ids of the submesh's nodes that lie on m, in row-major
 // order. Parts of the submesh hanging off the mesh are skipped, which is
 // how MC evaluates candidate allocations near mesh edges.
@@ -351,15 +248,7 @@ func (m *Mesh) Nodes(s Submesh) []int {
 // row-major order and returns the extended slice — the allocation-free
 // variant of Nodes.
 func (m *Mesh) AppendNodes(ids []int, s Submesh) []int {
-	for y := s.Origin.Y; y < s.Origin.Y+s.H; y++ {
-		for x := s.Origin.X; x < s.Origin.X+s.W; x++ {
-			p := Point{x, y}
-			if m.Contains(p) {
-				ids = append(ids, m.ID(p))
-			}
-		}
-	}
-	return ids
+	return m.g.AppendNodes(ids, box(s))
 }
 
 // CenteredSubmesh returns the W x H submesh "centered" on c in the MC
@@ -374,11 +263,7 @@ func CenteredSubmesh(c Point, w, h int) Submesh {
 // border ring of the (W+2k) x (H+2k) submesh. This matches the growth rule
 // of Mache et al.'s MC allocator (Figure 4 of the paper).
 func (m *Mesh) Shell(c Point, w, h, k int) []int {
-	if k == 0 {
-		return m.Nodes(CenteredSubmesh(c, w, h))
-	}
-	outer := CenteredSubmesh(c, w+2*k, h+2*k)
-	return m.AppendShell(make([]int, 0, 2*(outer.W+outer.H)), c, w, h, k)
+	return m.g.Shell(pt(c), topo.Point{w, h}, k)
 }
 
 // AppendShell appends the ids of shell k around the W x H submesh centered
@@ -386,21 +271,7 @@ func (m *Mesh) Shell(c Point, w, h, k int) []int {
 // variant of Shell: MC-style shell scoring reuses one scratch slice per
 // allocator instead of allocating a fresh ring per candidate.
 func (m *Mesh) AppendShell(ids []int, c Point, w, h, k int) []int {
-	if k == 0 {
-		return m.AppendNodes(ids, CenteredSubmesh(c, w, h))
-	}
-	outer := CenteredSubmesh(c, w+2*k, h+2*k)
-	inner := CenteredSubmesh(c, w+2*(k-1), h+2*(k-1))
-	for y := outer.Origin.Y; y < outer.Origin.Y+outer.H; y++ {
-		for x := outer.Origin.X; x < outer.Origin.X+outer.W; x++ {
-			p := Point{x, y}
-			if inner.Contains(p) || !m.Contains(p) {
-				continue
-			}
-			ids = append(ids, m.ID(p))
-		}
-	}
-	return ids
+	return m.g.AppendShell(ids, pt(c), topo.Point{w, h}, k)
 }
 
 // ShellEach calls fn with the id of every on-mesh node of shell k in
@@ -408,23 +279,7 @@ func (m *Mesh) AppendShell(ids []int, c Point, w, h, k int) []int {
 // whether the walk ran to completion. It is the index-callback variant of
 // Shell for callers that do not need the ids materialized at all.
 func (m *Mesh) ShellEach(c Point, w, h, k int, fn func(id int) bool) bool {
-	outer := CenteredSubmesh(c, w+2*k, h+2*k)
-	inner := Submesh{}
-	if k > 0 {
-		inner = CenteredSubmesh(c, w+2*(k-1), h+2*(k-1))
-	}
-	for y := outer.Origin.Y; y < outer.Origin.Y+outer.H; y++ {
-		for x := outer.Origin.X; x < outer.Origin.X+outer.W; x++ {
-			p := Point{x, y}
-			if (k > 0 && inner.Contains(p)) || !m.Contains(p) {
-				continue
-			}
-			if !fn(m.ID(p)) {
-				return false
-			}
-		}
-	}
-	return true
+	return m.g.ShellEach(pt(c), topo.Point{w, h}, k, fn)
 }
 
 // MaxShells returns an upper bound on the number of shells needed to cover
@@ -432,11 +287,7 @@ func (m *Mesh) ShellEach(c Point, w, h, k int, fn func(id int) bool) bool {
 func (m *Mesh) MaxShells(w, h int) int {
 	// Growing by one node per side per shell, max(width, height) shells
 	// always suffice.
-	n := m.width
-	if m.height > n {
-		n = m.height
-	}
-	return n
+	return m.g.MaxShells()
 }
 
 // Components partitions the given node ids into rectilinearly-connected
@@ -444,45 +295,8 @@ func (m *Mesh) MaxShells(w, h int) int {
 // in the set. The paper calls a job "allocated contiguously" when this
 // yields a single component. The returned components are each sorted by id
 // and ordered by their smallest id.
-func (m *Mesh) Components(ids []int) [][]int {
-	if len(ids) == 0 {
-		return nil
-	}
-	// Dense membership bitmaps beat maps here: ids are bounded by the mesh
-	// size and Components runs once per finished job.
-	in := make([]bool, m.Size())
-	for _, id := range ids {
-		in[id] = true
-	}
-	seen := make([]bool, m.Size())
-	var comps [][]int
-	sorted := append([]int(nil), ids...)
-	sort.Ints(sorted)
-	for _, start := range sorted {
-		if seen[start] {
-			continue
-		}
-		// BFS flood fill over mesh adjacency restricted to the set.
-		comp := []int{start}
-		seen[start] = true
-		for qi := 0; qi < len(comp); qi++ {
-			u := comp[qi]
-			for d := XPos; d <= YNeg; d++ {
-				v, ok := m.Neighbor(u, d)
-				if ok && in[v] && !seen[v] {
-					seen[v] = true
-					comp = append(comp, v)
-				}
-			}
-		}
-		sort.Ints(comp)
-		comps = append(comps, comp)
-	}
-	return comps
-}
+func (m *Mesh) Components(ids []int) [][]int { return m.g.Components(ids) }
 
 // Contiguous reports whether the node set forms a single rectilinear
 // component.
-func (m *Mesh) Contiguous(ids []int) bool {
-	return len(ids) == 0 || len(m.Components(ids)) == 1
-}
+func (m *Mesh) Contiguous(ids []int) bool { return m.g.Contiguous(ids) }

@@ -1,9 +1,12 @@
 // Package netsim is the interconnect model of the microsimulator: an
 // event-driven, cycle-accurate link-pipeline approximation of the
-// flit-level wormhole simulation performed by ProcSimity.
+// flit-level wormhole simulation performed by ProcSimity. It is
+// dimension-generic: the same link pipeline serves the paper's 2-D
+// meshes and the native 3-D machines of the ext-cube3d experiment,
+// parameterized only by a topo.Grid.
 //
-// Every directed mesh link is a FIFO resource that serializes one flit per
-// flit cycle. A message of F flits sent along its x-y dimension-ordered
+// Every directed grid link is a FIFO resource that serializes one flit per
+// flit cycle. A message of F flits sent along its dimension-ordered
 // route occupies each link on the path for F flit cycles; the header
 // advances one hop per hop latency and the body pipelines behind it. When
 // a link is still busy with earlier traffic the message queues, which is
@@ -20,17 +23,18 @@ package netsim
 import (
 	"fmt"
 
-	"meshalloc/internal/mesh"
+	"meshalloc/internal/topo"
 )
 
 // Routing selects the deterministic routing function.
 type Routing int
 
 const (
-	// RouteXY is x-then-y dimension-ordered routing, the paper's (and
-	// the Paragon's) algorithm. Default.
+	// RouteXY is ascending dimension-ordered routing — x then y (then
+	// z), the paper's (and the Paragon's) algorithm. Default.
 	RouteXY Routing = iota
-	// RouteYX routes y-then-x, for routing-sensitivity ablations.
+	// RouteYX routes axes in descending order (y then x in 2-D), for
+	// routing-sensitivity ablations.
 	RouteYX
 	// RouteAdaptive picks whichever of the two dimension-ordered routes
 	// currently has the lower total queueing delay — a minimal adaptive
@@ -133,9 +137,9 @@ func (s Stats) AvgLatency() float64 {
 	return s.TotalDistSec / float64(s.Messages)
 }
 
-// Network is the link-state simulator for one mesh machine.
+// Network is the link-state simulator for one grid machine.
 type Network struct {
-	m        *mesh.Mesh
+	m        *topo.Grid
 	cfg      Config
 	freeAt   []float64 // per directed link: earliest time it is idle
 	busyTime []float64 // per directed link: accumulated service time
@@ -144,25 +148,28 @@ type Network struct {
 	// routeBuf and altBuf are persistent route scratch so steady-state
 	// Send is allocation-free; altBuf holds the alternative candidate
 	// under adaptive routing.
-	routeBuf []mesh.Link
-	altBuf   []mesh.Link
+	routeBuf []topo.Link
+	altBuf   []topo.Link
 }
 
-// New returns a network over m with the given configuration. It panics on
-// non-positive flit counts or negative timings: network timing is static
-// configuration.
-func New(m *mesh.Mesh, cfg Config) *Network {
+// New returns a network over the grid g with the given configuration. It
+// panics on non-positive flit counts or negative timings: network timing
+// is static configuration.
+func New(g *topo.Grid, cfg Config) *Network {
 	if cfg.MessageFlits <= 0 || cfg.FlitCycle < 0 || cfg.HopLatency < 0 || cfg.LocalDelay < 0 {
 		panic(fmt.Sprintf("netsim: invalid config %+v", cfg))
 	}
-	maxRoute := m.Width() + m.Height()
+	maxRoute := 0
+	for i := 0; i < g.ND(); i++ {
+		maxRoute += g.Dim(i)
+	}
 	return &Network{
-		m:        m,
+		m:        g,
 		cfg:      cfg,
-		freeAt:   make([]float64, m.NumLinks()),
-		busyTime: make([]float64, m.NumLinks()),
-		routeBuf: make([]mesh.Link, 0, maxRoute),
-		altBuf:   make([]mesh.Link, 0, maxRoute),
+		freeAt:   make([]float64, g.NumLinks()),
+		busyTime: make([]float64, g.NumLinks()),
+		routeBuf: make([]topo.Link, 0, maxRoute),
+		altBuf:   make([]topo.Link, 0, maxRoute),
 	}
 }
 
@@ -223,13 +230,13 @@ func (n *Network) Send(src, dst int, t float64) Result {
 // pickRoute returns the links a message injected at time t will take. The
 // returned slice aliases the network's route scratch and is only valid
 // until the next Send.
-func (n *Network) pickRoute(src, dst int, t float64) []mesh.Link {
+func (n *Network) pickRoute(src, dst int, t float64) []topo.Link {
 	switch n.cfg.Routing {
 	case RouteYX:
-		n.routeBuf = n.m.AppendRouteYX(n.routeBuf[:0], src, dst)
+		n.routeBuf = n.m.AppendRouteRev(n.routeBuf[:0], src, dst)
 	case RouteAdaptive:
 		n.routeBuf = n.m.AppendRoute(n.routeBuf[:0], src, dst)
-		n.altBuf = n.m.AppendRouteYX(n.altBuf[:0], src, dst)
+		n.altBuf = n.m.AppendRouteRev(n.altBuf[:0], src, dst)
 		if n.routeWait(n.altBuf, t) < n.routeWait(n.routeBuf, t) {
 			return n.altBuf
 		}
@@ -242,7 +249,7 @@ func (n *Network) pickRoute(src, dst int, t float64) []mesh.Link {
 // routeWait estimates the queueing a message would see on a route if its
 // header could teleport: the sum of positive (freeAt - t) over links. It
 // is a heuristic for adaptive route selection, not an exact simulation.
-func (n *Network) routeWait(route []mesh.Link, t float64) float64 {
+func (n *Network) routeWait(route []topo.Link, t float64) float64 {
 	wait := 0.0
 	for _, l := range route {
 		if f := n.freeAt[n.m.LinkIndex(l)]; f > t {
@@ -272,7 +279,7 @@ func (n *Network) Reset() {
 // elapsed simulated time (the latest Send time). Before any traffic it
 // returns all zeros. A heavily backlogged link can report slightly more
 // than 1 because its queued service extends beyond the last send time.
-// Index with mesh.LinkIndex.
+// Index with the grid's LinkIndex.
 func (n *Network) LinkUtilization() []float64 {
 	util := make([]float64, len(n.busyTime))
 	if n.clock <= 0 {
@@ -293,11 +300,11 @@ func (n *Network) NodeUtilization() []float64 {
 	for id := 0; id < n.m.Size(); id++ {
 		count := 0
 		total := 0.0
-		for d := mesh.XPos; d <= mesh.YNeg; d++ {
+		for d := topo.Dir(0); int(d) < n.m.NumDirs(); d++ {
 			if _, ok := n.m.Neighbor(id, d); !ok {
 				continue
 			}
-			total += util[n.m.LinkIndex(mesh.Link{From: id, Dir: d})]
+			total += util[n.m.LinkIndex(topo.Link{From: id, Dir: d})]
 			count++
 		}
 		if count > 0 {

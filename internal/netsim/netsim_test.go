@@ -25,14 +25,14 @@ func TestNewRejectsBadConfig(t *testing.T) {
 					t.Errorf("New(%+v) should panic", cfg)
 				}
 			}()
-			New(m, cfg)
+			New(m.Grid(), cfg)
 		}()
 	}
 }
 
 func TestUncontendedLatency(t *testing.T) {
 	m := mesh.New(8, 8)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	// 3 hops: 3*0.005 + 10*0.01 = 0.115.
 	r := n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 3, Y: 0}), 0)
 	if r.Hops != 3 {
@@ -52,7 +52,7 @@ func TestUncontendedLatency(t *testing.T) {
 
 func TestSelfMessageUsesLocalDelay(t *testing.T) {
 	m := mesh.New(4, 4)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	r := n.Send(5, 5, 2.0)
 	if r.Hops != 0 || r.Arrival != 2.001 {
 		t.Fatalf("self message result = %+v", r)
@@ -61,7 +61,7 @@ func TestSelfMessageUsesLocalDelay(t *testing.T) {
 
 func TestContentionSerializesSharedLink(t *testing.T) {
 	m := mesh.New(8, 1)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	// Two messages crossing the same link 0->1 at the same time: the
 	// second queues for one service time (0.1).
 	r1 := n.Send(0, 2, 0)
@@ -79,7 +79,7 @@ func TestContentionSerializesSharedLink(t *testing.T) {
 
 func TestOppositeDirectionsDoNotContend(t *testing.T) {
 	m := mesh.New(8, 1)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	r1 := n.Send(0, 3, 0)
 	r2 := n.Send(3, 0, 0) // full duplex: reverse links are distinct
 	if r1.Queued != 0 || r2.Queued != 0 {
@@ -89,7 +89,7 @@ func TestOppositeDirectionsDoNotContend(t *testing.T) {
 
 func TestDisjointPathsDoNotContend(t *testing.T) {
 	m := mesh.New(8, 8)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	r1 := n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 3, Y: 0}), 0)
 	r2 := n.Send(m.ID(mesh.Point{X: 0, Y: 4}), m.ID(mesh.Point{X: 3, Y: 4}), 0)
 	if r1.Queued != 0 || r2.Queued != 0 {
@@ -102,7 +102,7 @@ func TestXYRoutingContention(t *testing.T) {
 	// a message (2,0)->(2,2) uses the same link. They contend even
 	// though their sources differ.
 	m := mesh.New(4, 4)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 2, Y: 2}), 0)
 	r2 := n.Send(m.ID(mesh.Point{X: 2, Y: 0}), m.ID(mesh.Point{X: 2, Y: 2}), 0)
 	if r2.Queued <= 0 {
@@ -112,7 +112,7 @@ func TestXYRoutingContention(t *testing.T) {
 
 func TestSendPanicsOnTimeTravel(t *testing.T) {
 	m := mesh.New(4, 4)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	n.Send(0, 1, 5)
 	defer func() {
 		if recover() == nil {
@@ -124,7 +124,7 @@ func TestSendPanicsOnTimeTravel(t *testing.T) {
 
 func TestStatsAccumulate(t *testing.T) {
 	m := mesh.New(8, 8)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	n.Send(0, 1, 0)
 	n.Send(0, 2, 0)
 	n.Send(3, 3, 1)
@@ -145,7 +145,7 @@ func TestStatsAccumulate(t *testing.T) {
 
 func TestReset(t *testing.T) {
 	m := mesh.New(4, 4)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	n.Send(0, 5, 10)
 	n.Reset()
 	if n.Stats().Messages != 0 {
@@ -173,10 +173,10 @@ func TestArrivalMonotoneInLoad(t *testing.T) {
 		src := int(srcRaw) % m.Size()
 		dst := int(dstRaw) % m.Size()
 
-		quiet := New(m, testConfig())
+		quiet := New(m.Grid(), testConfig())
 		probeQuiet := quiet.Send(src, dst, 1.0)
 
-		busy := New(m, testConfig())
+		busy := New(m.Grid(), testConfig())
 		for _, b := range bg {
 			s := int(b>>8) % m.Size()
 			d := int(b&0xff) % m.Size()
@@ -196,10 +196,10 @@ func TestArrivalMonotoneInLoad(t *testing.T) {
 // delivery.
 func TestCloserDestinationsArriveSooner(t *testing.T) {
 	m := mesh.New(16, 16)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	prev := -1.0
 	for d := 1; d < 16; d++ {
-		nn := New(m, testConfig())
+		nn := New(m.Grid(), testConfig())
 		r := nn.Send(0, d, 0) // along the bottom row: d hops
 		if r.Hops != d {
 			t.Fatalf("hops to column %d = %d", d, r.Hops)
@@ -216,7 +216,7 @@ func TestCloserDestinationsArriveSooner(t *testing.T) {
 // equals the sum of per-message queueing over an arbitrary workload.
 func TestQueueingConservation(t *testing.T) {
 	m := mesh.New(6, 6)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	total := 0.0
 	hops := int64(0)
 	for i := 0; i < 500; i++ {
@@ -242,7 +242,7 @@ func TestQueueingConservation(t *testing.T) {
 // uncontended baseline plus the queueing delay.
 func TestLatencyDecomposition(t *testing.T) {
 	m := mesh.New(8, 8)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	for i := 0; i < 200; i++ {
 		src := (i * 11) % m.Size()
 		dst := (i*17 + 3) % m.Size()
@@ -280,7 +280,7 @@ func TestYXRoutingUsesColumnFirst(t *testing.T) {
 	m := mesh.New(4, 4)
 	cfg := testConfig()
 	cfg.Routing = RouteYX
-	n := New(m, cfg)
+	n := New(m.Grid(), cfg)
 	// Under y-x routing, (0,0)->(2,2) and (0,2)->(2,2) share the row-2
 	// links, unlike under x-y routing.
 	n.Send(m.ID(mesh.Point{X: 0, Y: 0}), m.ID(mesh.Point{X: 2, Y: 2}), 0)
@@ -294,7 +294,7 @@ func TestAdaptiveRoutingAvoidsCongestion(t *testing.T) {
 	m := mesh.New(4, 4)
 	cfg := testConfig()
 	cfg.Routing = RouteAdaptive
-	n := New(m, cfg)
+	n := New(m.Grid(), cfg)
 	src := m.ID(mesh.Point{X: 0, Y: 0})
 	dst := m.ID(mesh.Point{X: 2, Y: 2})
 	// Congest the x-y route's first link (0,0)->(1,0) with row traffic.
@@ -309,7 +309,7 @@ func TestAdaptiveRoutingAvoidsCongestion(t *testing.T) {
 	}
 
 	// A plain x-y network must queue in the same situation.
-	nxy := New(m, testConfig())
+	nxy := New(m.Grid(), testConfig())
 	for i := 0; i < 5; i++ {
 		nxy.Send(src, m.ID(mesh.Point{X: 3, Y: 0}), 0)
 	}
@@ -320,7 +320,7 @@ func TestAdaptiveRoutingAvoidsCongestion(t *testing.T) {
 
 func TestLinkUtilization(t *testing.T) {
 	m := mesh.New(8, 1)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	if u := n.LinkUtilization(); len(u) != m.NumLinks() {
 		t.Fatalf("utilization length %d", len(u))
 	}
@@ -346,7 +346,7 @@ func TestLinkUtilization(t *testing.T) {
 
 func TestNodeUtilizationAggregates(t *testing.T) {
 	m := mesh.New(4, 4)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	n.Send(0, 3, 1.0) // bottom row eastward
 	nu := n.NodeUtilization()
 	if len(nu) != 16 {
@@ -362,7 +362,7 @@ func TestNodeUtilizationAggregates(t *testing.T) {
 
 func TestUtilizationResets(t *testing.T) {
 	m := mesh.New(4, 4)
-	n := New(m, testConfig())
+	n := New(m.Grid(), testConfig())
 	n.Send(0, 3, 1.0)
 	n.Reset()
 	for _, u := range n.LinkUtilization() {

@@ -21,10 +21,10 @@ import (
 
 	"meshalloc/internal/alloc"
 	"meshalloc/internal/comm"
-	"meshalloc/internal/mesh"
 	"meshalloc/internal/netsim"
 	"meshalloc/internal/sched"
 	"meshalloc/internal/stats"
+	"meshalloc/internal/topo"
 	"meshalloc/internal/trace"
 )
 
@@ -52,7 +52,15 @@ func (m IssueMode) String() string {
 // Config describes one simulation run.
 type Config struct {
 	// MeshW, MeshH are the machine dimensions (paper: 16x22 and 16x16).
+	// They are the 2-D compatibility path: when Dims is empty the
+	// machine is the MeshW x MeshH mesh, exactly as before the topology
+	// layer became dimension-generic.
 	MeshW, MeshH int
+	// Dims, when non-empty, gives the machine extents axis by axis and
+	// overrides MeshW/MeshH — e.g. []int{8, 8, 8} simulates the 8x8x8
+	// 3-D mesh CPlant physically was. Allocators, routing and link
+	// accounting all run natively in n dimensions.
+	Dims []int
 	// Torus adds wraparound links (the paper's machines are plain
 	// meshes; torus mode is an extension for other topologies).
 	Torus bool
@@ -99,6 +107,15 @@ func (c Config) withDefaults() Config {
 		c.MsgsPerSecond = 1
 	}
 	return c
+}
+
+// dims resolves the machine extents: Dims when given, the MeshW x MeshH
+// compatibility pair otherwise.
+func (c Config) dims() []int {
+	if len(c.Dims) > 0 {
+		return c.Dims
+	}
+	return []int{c.MeshW, c.MeshH}
 }
 
 // JobRecord is the per-job outcome, in original (un-time-scaled) seconds.
@@ -254,15 +271,24 @@ type runningJob struct {
 // itself. Jobs larger than the mesh are rejected with an error.
 func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	cfg = cfg.withDefaults()
-	var m *mesh.Mesh
+	dims := cfg.dims()
+	if len(dims) < 1 || len(dims) > topo.MaxDims {
+		return nil, fmt.Errorf("sim: machine needs 1..%d dimensions, got %d", topo.MaxDims, len(dims))
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("sim: invalid machine extent %d on axis %d", d, i)
+		}
+	}
+	var m *topo.Grid
 	if cfg.Torus {
-		m = mesh.NewTorus(cfg.MeshW, cfg.MeshH)
+		m = topo.NewTorus(dims)
 	} else {
-		m = mesh.New(cfg.MeshW, cfg.MeshH)
+		m = topo.New(dims)
 	}
 	for _, j := range tr.Jobs {
 		if j.Size > m.Size() {
-			return nil, fmt.Errorf("sim: job %d needs %d processors, mesh has %d (filter the trace first)",
+			return nil, fmt.Errorf("sim: job %d needs %d processors, machine has %d (filter the trace first)",
 				j.ID, j.Size, m.Size())
 		}
 	}

@@ -493,3 +493,110 @@ func TestIssueModeString(t *testing.T) {
 		t.Fatal("IssueMode.String mismatch")
 	}
 }
+
+// TestDimsCompatibilityPath pins the 2-D compatibility contract of the
+// dimension-generic topology layer: Dims{w, h} and MeshW/MeshH describe
+// the same machine and must produce byte-for-byte identical results.
+func TestDimsCompatibilityPath(t *testing.T) {
+	legacy := baseConfig()
+	legacy.Pattern = "nbody"
+	viaDims := legacy
+	viaDims.MeshW, viaDims.MeshH = 0, 0
+	viaDims.Dims = []int{8, 8}
+	r1, err := Run(legacy, tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(viaDims, tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1.Records, r2.Records) {
+		t.Fatal("Dims{8,8} diverges from MeshW/MeshH 8x8")
+	}
+	if r1.MeanResponse != r2.MeanResponse || r1.Net != r2.Net {
+		t.Fatal("summary metrics diverge between Dims and MeshW/MeshH")
+	}
+}
+
+// TestRunOn3DMesh runs the full contention simulation natively on a 3-D
+// machine for a cross-section of allocator families.
+func TestRunOn3DMesh(t *testing.T) {
+	for _, spec := range []string{"hilbert", "hilbert/bestfit", "scurve", "mc", "mc1x1", "genalg", "random", "proj2d-hilbert", "rowmajor/freelist/page1"} {
+		cfg := Config{
+			Dims:    []int{4, 4, 4},
+			Alloc:   spec,
+			Pattern: "nbody",
+			Seed:    1,
+		}
+		res, err := Run(cfg, tinyTrace())
+		if err != nil {
+			t.Fatalf("%s: %v", spec, err)
+		}
+		if len(res.Records) != 4 {
+			t.Fatalf("%s: %d records, want 4", spec, len(res.Records))
+		}
+		for _, r := range res.Records {
+			if r.Response <= 0 || r.Components < 1 {
+				t.Errorf("%s: bad record %+v", spec, r)
+			}
+			for _, id := range r.Nodes {
+				if id < 0 || id >= 64 {
+					t.Errorf("%s: node id %d off the 4x4x4 machine", spec, id)
+				}
+			}
+		}
+		if res.Net.Messages == 0 {
+			t.Errorf("%s: no messages simulated", spec)
+		}
+		if len(res.NodeUtilization) != 64 {
+			t.Errorf("%s: utilization length %d", spec, len(res.NodeUtilization))
+		}
+	}
+}
+
+// TestRunOn3DTorus exercises wraparound routing on a 3-D machine.
+func TestRunOn3DTorus(t *testing.T) {
+	cfg := Config{
+		Dims:    []int{4, 4, 4},
+		Torus:   true,
+		Alloc:   "hilbert",
+		Pattern: "alltoall",
+		Seed:    1,
+	}
+	res, err := Run(cfg, tinyTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Records) != 4 {
+		t.Fatalf("%d records, want 4", len(res.Records))
+	}
+}
+
+// TestRun3DRejects2DOnlyAllocators pins the gating of inherently 2-D
+// strategies on higher-dimensional machines.
+func TestRun3DRejects2DOnlyAllocators(t *testing.T) {
+	for _, spec := range []string{"buddy", "submesh", "hindex", "moore"} {
+		cfg := Config{Dims: []int{4, 4, 4}, Alloc: spec, Pattern: "nbody", Seed: 1}
+		if _, err := Run(cfg, tinyTrace()); err == nil {
+			t.Errorf("%s should be rejected on a 3-D machine", spec)
+		}
+	}
+}
+
+// TestRunRejectsBadDims pins extent validation.
+func TestRunRejectsBadDims(t *testing.T) {
+	cfg := Config{Dims: []int{8, 0, 8}, Alloc: "hilbert", Pattern: "nbody", Seed: 1}
+	if _, err := Run(cfg, tinyTrace()); err == nil {
+		t.Fatal("zero extent should be rejected")
+	}
+}
+
+// TestRunRejectsTooManyDims pins the error (not panic) contract for
+// over-long Dims.
+func TestRunRejectsTooManyDims(t *testing.T) {
+	cfg := Config{Dims: []int{2, 2, 2, 2, 2}, Alloc: "hilbert", Pattern: "nbody", Seed: 1}
+	if _, err := Run(cfg, tinyTrace()); err == nil {
+		t.Fatal("5-D machine should be rejected with an error")
+	}
+}

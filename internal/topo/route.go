@@ -1,0 +1,95 @@
+package topo
+
+// Dimension-ordered routing, generalized from the 2-D x-y algorithm of
+// Paragon-/CPlant-style mesh routers: resolve one axis completely before
+// moving to the next. Ascending axis order (axis 0 first) is the n-D
+// generalization of x-y routing; descending order generalizes y-x, the
+// alternative deterministic routing used for routing-sensitivity
+// studies. On a torus each axis takes the shorter way around (positive
+// on ties).
+
+// Route returns the ascending dimension-ordered route from src to dst as
+// the ordered sequence of directed links traversed. An empty slice means
+// src == dst.
+func (g *Grid) Route(src, dst int) []Link {
+	return g.AppendRoute(make([]Link, 0, g.Dist(src, dst)), src, dst)
+}
+
+// AppendRoute appends the ascending dimension-ordered route from src to
+// dst to links and returns the extended slice. It is the
+// allocation-free variant of Route for callers that reuse a scratch
+// buffer per message.
+func (g *Grid) AppendRoute(links []Link, src, dst int) []Link {
+	return g.appendRouteDimOrdered(links, src, dst, true)
+}
+
+// AppendRouteRev is AppendRoute with the axes resolved in descending
+// order (the n-D generalization of y-x routing).
+func (g *Grid) AppendRouteRev(links []Link, src, dst int) []Link {
+	return g.appendRouteDimOrdered(links, src, dst, false)
+}
+
+func (g *Grid) appendRouteDimOrdered(links []Link, src, dst int, asc bool) []Link {
+	cur, d := g.Coord(src), g.Coord(dst)
+	// id is maintained incrementally: one multiply-free update per hop
+	// instead of a full ID recomputation.
+	id := src
+	if asc {
+		for axis := 0; axis < g.nd; axis++ {
+			links, id = g.appendAxisHops(links, &cur, id, axis, d[axis])
+		}
+	} else {
+		for axis := g.nd - 1; axis >= 0; axis-- {
+			links, id = g.appendAxisHops(links, &cur, id, axis, d[axis])
+		}
+	}
+	return links
+}
+
+// axisDir picks the traversal direction along one axis; on a torus it
+// takes the shorter way around (positive on ties).
+func (g *Grid) axisDir(from, to, axis int) Dir {
+	pos, neg := Dir(2*axis), Dir(2*axis+1)
+	if !g.torus {
+		if to > from {
+			return pos
+		}
+		return neg
+	}
+	extent := g.dim[axis]
+	forward := ((to - from) + extent) % extent
+	if forward <= extent-forward {
+		return pos
+	}
+	return neg
+}
+
+// appendAxisHops walks cur along one axis to the target coordinate,
+// appending the links traversed and returning the updated id.
+func (g *Grid) appendAxisHops(links []Link, cur *Point, id, axis, target int) ([]Link, int) {
+	extent, stride := g.dim[axis], g.stride[axis]
+	for cur[axis] != target {
+		dir := g.axisDir(cur[axis], target, axis)
+		links = append(links, Link{From: id, Dir: dir})
+		if dir.Positive() {
+			cur[axis]++
+			id += stride
+			if cur[axis] == extent {
+				cur[axis] = 0
+				id -= extent * stride
+			}
+		} else {
+			cur[axis]--
+			id -= stride
+			if cur[axis] < 0 {
+				cur[axis] = extent - 1
+				id += extent * stride
+			}
+		}
+	}
+	return links, id
+}
+
+// RouteLen returns the number of links on the dimension-ordered route
+// from src to dst, which equals the (torus-aware) Manhattan distance.
+func (g *Grid) RouteLen(src, dst int) int { return g.Dist(src, dst) }

@@ -1,8 +1,11 @@
 // Package meshalloc is a trace-driven microsimulator for studying how
 // processor-allocation algorithms interact with job communication
-// patterns on space-shared 2-D-mesh parallel machines. It reproduces the
-// system of Leung, Bunde and Mache, "Communication Patterns and
-// Allocation Strategies" (SAND2003-4522 / IPPS 2004).
+// patterns on space-shared mesh parallel machines: the paper's 2-D
+// meshes and, via the dimension-generic topology layer, native n-D
+// grids and tori (Config.Dims, e.g. []int{8, 8, 8} for the 3-D mesh
+// CPlant physically was). It reproduces the system of Leung, Bunde and
+// Mache, "Communication Patterns and Allocation Strategies"
+// (SAND2003-4522 / IPPS 2004).
 //
 // The package is a facade over the implementation packages:
 //
@@ -21,7 +24,7 @@
 //
 //	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 500, MaxSize: 352, Seed: 1})
 //	res, err := meshalloc.Run(meshalloc.Config{
-//		MeshW: 16, MeshH: 22,
+//		MeshW: 16, MeshH: 22, // or Dims: []int{8, 8, 8} for native 3-D
 //		Alloc:   "hilbert/bestfit",
 //		Pattern: "nbody",
 //		Load:    0.6,

@@ -3,14 +3,21 @@
 // message sends; these tests pin the zero-allocation refactor of those
 // paths so a future change cannot silently reintroduce per-candidate or
 // per-message garbage. See DESIGN.md ("Zero-allocation hot paths").
+//
+// The topology layer is dimension-generic, so every guard runs on both
+// the paper's 2-D meshes (through the mesh facade, pinning the original
+// contract) and a 3-D grid (pinning the generalized route, shell, ring
+// and Send paths the ext-cube3d experiment rides on).
 package meshalloc
 
 import (
+	"fmt"
 	"testing"
 
 	"meshalloc/internal/alloc"
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/netsim"
+	"meshalloc/internal/topo"
 )
 
 // TestShellIterationZeroAlloc pins mesh shell walking (the inner loop of
@@ -73,7 +80,7 @@ func TestNetworkSendZeroAlloc(t *testing.T) {
 			m := mesh.New(16, 22)
 			cfg := netsim.DefaultConfig()
 			cfg.Routing = r
-			net := netsim.New(m, cfg)
+			net := netsim.New(m.Grid(), cfg)
 			clock := 0.0
 			src := 0
 			n := testing.AllocsPerRun(500, func() {
@@ -97,7 +104,7 @@ func TestAllocatorSteadyStateAllocs(t *testing.T) {
 	m := mesh.New(16, 22)
 	for _, spec := range append(alloc.Specs(), "random") {
 		t.Run(spec, func(t *testing.T) {
-			a, err := alloc.Spec(m, spec, 1)
+			a, err := alloc.Spec(m.Grid(), spec, 1)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -118,6 +125,92 @@ func TestAllocatorSteadyStateAllocs(t *testing.T) {
 			})
 			if n > 1 {
 				t.Fatalf("%s Allocate+Release allocates %.1f objects/run, want <= 1 (the returned slice)", spec, n)
+			}
+		})
+	}
+}
+
+// TestGridWalkersZeroAlloc pins the dimension-generic route, shell and
+// ring walkers at zero allocations on 2-D and 3-D grids alike.
+func TestGridWalkersZeroAlloc(t *testing.T) {
+	for _, dims := range [][]int{{16, 22}, {8, 8, 8}} {
+		t.Run(fmt.Sprint(dims), func(t *testing.T) {
+			g := topo.New(dims)
+			var c, ext topo.Point
+			for i, d := range dims {
+				c[i] = d / 2
+				ext[i] = 2
+			}
+			linkBuf := make([]topo.Link, 0, 64)
+			idBuf := make([]int, 0, g.Size())
+			n := testing.AllocsPerRun(200, func() {
+				linkBuf = g.AppendRoute(linkBuf[:0], 0, g.Size()-1)
+				linkBuf = g.AppendRouteRev(linkBuf[:0], g.Size()-1, 3)
+				for k := 0; k <= 6; k++ {
+					idBuf = g.AppendShell(idBuf[:0], c, ext, k)
+				}
+				idBuf = g.AppendRing(idBuf[:0], c, 4)
+				g.ShellEach(c, ext, 2, func(int) bool { return true })
+			})
+			if n != 0 {
+				t.Fatalf("grid walkers allocate %.1f objects/run, want 0", n)
+			}
+		})
+	}
+}
+
+// TestNetworkSend3DZeroAlloc pins steady-state Send on a native 3-D
+// machine at zero allocations for every routing mode, the guarantee the
+// ext-cube3d contention runs depend on.
+func TestNetworkSend3DZeroAlloc(t *testing.T) {
+	for _, r := range []netsim.Routing{netsim.RouteXY, netsim.RouteYX, netsim.RouteAdaptive} {
+		t.Run(r.String(), func(t *testing.T) {
+			g := topo.New([]int{8, 8, 8})
+			cfg := netsim.DefaultConfig()
+			cfg.Routing = r
+			net := netsim.New(g, cfg)
+			clock := 0.0
+			src := 0
+			n := testing.AllocsPerRun(500, func() {
+				net.Send(src%g.Size(), (src*7+13)%g.Size(), clock)
+				src++
+				clock++
+			})
+			if n != 0 {
+				t.Fatalf("Send(%s) allocates %.1f objects/run on 3-D, want 0", r, n)
+			}
+		})
+	}
+}
+
+// TestAllocatorSteadyState3DAllocs pins the generic allocators on a 3-D
+// machine at one allocation per cycle (the returned slice), mirroring
+// the 2-D guard: the dimension-generic refactor must not cost the
+// shell/ring scoring paths their persistent-scratch discipline.
+func TestAllocatorSteadyState3DAllocs(t *testing.T) {
+	g := topo.New([]int{8, 8, 8})
+	for _, spec := range []string{"mc", "mc1x1", "genalg", "random", "hilbert", "hilbert/bestfit", "scurve", "proj2d-hilbert"} {
+		t.Run(spec, func(t *testing.T) {
+			a, err := alloc.Spec(g, spec, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 3; i++ {
+				ids, err := a.Allocate(alloc.Request{Size: 16})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Release(ids)
+			}
+			n := testing.AllocsPerRun(50, func() {
+				ids, err := a.Allocate(alloc.Request{Size: 16})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Release(ids)
+			})
+			if n > 1 {
+				t.Fatalf("%s Allocate+Release allocates %.1f objects/run on 3-D, want <= 1", spec, n)
 			}
 		})
 	}
