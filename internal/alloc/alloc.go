@@ -26,6 +26,7 @@ import (
 	"meshalloc/internal/curve"
 	"meshalloc/internal/curveopt"
 	"meshalloc/internal/mesh"
+	"meshalloc/internal/occupancy"
 	"meshalloc/internal/stats"
 	"meshalloc/internal/topo"
 )
@@ -284,11 +285,17 @@ func (p *Paging) NumFree() int { return p.packer.NumFree() }
 func (p *Paging) Reset() { p.packer.Reset() }
 
 // tracker is the shared busy-set bookkeeping for the set-based allocators
-// (MC, Gen-Alg, Random).
+// (MC, Gen-Alg, Random). When an allocator carries an occupancy index
+// (boxes for MC shell counting, balls for Gen-Alg ball counting), every
+// take, release and reset keeps the index in lockstep with the busy
+// bitmap — the index is a counter over the same state, never a second
+// source of truth.
 type tracker struct {
 	g       *topo.Grid
 	busy    []bool
 	numFree int
+	boxes   *occupancy.Boxes
+	balls   *occupancy.Balls
 }
 
 func newTracker(g *topo.Grid) tracker {
@@ -302,6 +309,12 @@ func (t *tracker) Reset() {
 		t.busy[i] = false
 	}
 	t.numFree = len(t.busy)
+	if t.boxes != nil {
+		t.boxes.Reset()
+	}
+	if t.balls != nil {
+		t.balls.Reset()
+	}
 }
 
 func (t *tracker) Release(ids []int) {
@@ -310,6 +323,12 @@ func (t *tracker) Release(ids []int) {
 			panic(fmt.Sprintf("alloc: release of free or invalid id %d", id))
 		}
 		t.busy[id] = false
+		if t.boxes != nil {
+			t.boxes.Release(id)
+		}
+		if t.balls != nil {
+			t.balls.Release(id)
+		}
 	}
 	t.numFree += len(ids)
 }
@@ -317,6 +336,12 @@ func (t *tracker) Release(ids []int) {
 func (t *tracker) take(ids []int) {
 	for _, id := range ids {
 		t.busy[id] = true
+		if t.boxes != nil {
+			t.boxes.Take(id)
+		}
+		if t.balls != nil {
+			t.balls.Take(id)
+		}
 	}
 	t.numFree -= len(ids)
 }
@@ -338,22 +363,50 @@ func (t *tracker) check(size int) error {
 // (cost) wins. MC1x1 is the same algorithm with shell 0 fixed at a
 // single processor. On n-D machines the shells are box surfaces instead
 // of rings; the scoring rule is unchanged.
+//
+// By default the candidate loop never touches the shells: an
+// incremental occupancy index (see internal/occupancy) answers "free
+// processors within shell k" from box counts, the per-shell weights are
+// summed arithmetically, and a monotone lower bound prunes candidates
+// that cannot undercut the incumbent. Only the single winning center
+// performs a real shell walk to materialize ids, so the selection is
+// bit-identical to the reference scorer by construction — the same
+// shells, the same truncation, the same first-strictly-better
+// tie-breaking — at a fraction of the work.
 type MC struct {
 	tracker
 	oneByOne bool
 	// gatherBuf and bestBuf are persistent candidate scratch: gather fills
-	// gatherBuf, and when a candidate wins the two swap, so the steady
-	// state allocates only the returned slice.
+	// gatherBuf, and when a candidate wins the two swap (reference
+	// scorer) or the single winning gather lands there (indexed scorer),
+	// so the steady state allocates only the returned slice.
 	gatherBuf []int
 	bestBuf   []int
 }
 
 // NewMC returns the shape-aware MC allocator.
-func NewMC(g *topo.Grid) *MC { return &MC{tracker: newTracker(g)} }
+func NewMC(g *topo.Grid) *MC {
+	a := &MC{tracker: newTracker(g)}
+	a.boxes = occupancy.NewBoxes(g)
+	return a
+}
 
 // NewMC1x1 returns the shape-oblivious CPlant variant whose shell 0 is a
 // single processor.
 func NewMC1x1(g *topo.Grid) *MC {
+	a := NewMC(g)
+	a.oneByOne = true
+	return a
+}
+
+// NewMCNaive returns the reference MC scorer: the pre-index
+// implementation that gathers shells for every candidate. It is
+// retained as the ground truth the indexed scorer is fuzzed against,
+// and as the baseline for the allocator benchmarks.
+func NewMCNaive(g *topo.Grid) *MC { return &MC{tracker: newTracker(g)} }
+
+// NewMC1x1Naive returns the reference MC1x1 scorer; see NewMCNaive.
+func NewMC1x1Naive(g *topo.Grid) *MC {
 	return &MC{tracker: newTracker(g), oneByOne: true}
 }
 
@@ -377,12 +430,43 @@ func (a *MC) Allocate(req Request) ([]int, error) {
 	if !a.oneByOne {
 		ext = req.ShapeExt(a.g.ND())
 	}
+	if a.boxes == nil {
+		return a.allocateNaive(ext, req.Size)
+	}
+	bestCost, bestCenter := -1, -1
+	for center := 0; center < a.g.Size(); center++ {
+		if a.busy[center] {
+			continue
+		}
+		cost, ok := a.countCost(a.g.Coord(center), ext, req.Size, bestCost)
+		if !ok {
+			continue
+		}
+		if bestCost == -1 || cost < bestCost {
+			bestCost, bestCenter = cost, center
+		}
+	}
+	if bestCost == -1 {
+		return nil, ErrInsufficient
+	}
+	cost, ok := a.gather(a.g.Coord(bestCenter), ext, req.Size)
+	if !ok || cost != bestCost {
+		panic("alloc: occupancy index diverged from the shell walk")
+	}
+	best := append([]int(nil), a.gatherBuf...)
+	a.take(best)
+	return best, nil
+}
+
+// allocateNaive is the reference scoring loop: gather shells for every
+// free candidate and keep the first strictly-better one.
+func (a *MC) allocateNaive(ext topo.Point, size int) ([]int, error) {
 	bestCost := -1
 	for center := 0; center < a.g.Size(); center++ {
 		if a.busy[center] {
 			continue
 		}
-		cost, ok := a.gather(a.g.Coord(center), ext, req.Size)
+		cost, ok := a.gather(a.g.Coord(center), ext, size)
 		if !ok {
 			continue
 		}
@@ -397,6 +481,38 @@ func (a *MC) Allocate(req Request) ([]int, error) {
 	best := append([]int(nil), a.bestBuf...)
 	a.take(best)
 	return best, nil
+}
+
+// countCost computes the exact shell-weight cost of a candidate from
+// box counts alone: cost = sum over k of k * (freeBox(k) - freeBox(k-1))
+// with the outermost shell truncated to exactly size, where freeBox(k)
+// is the number of free processors within shell k's clipped outer box.
+// The running value cost + (k+1)*(size - freeBox(k)) is a monotone
+// lower bound on the final cost — every processor still missing sits at
+// shell k+1 or beyond — so the loop aborts (ok == false) as soon as the
+// bound proves the candidate cannot be strictly better than the
+// incumbent cost. Pass incumbent < 0 to disable pruning.
+func (a *MC) countCost(c, ext topo.Point, size, incumbent int) (cost int, ok bool) {
+	prev := 0
+	for k, maxK := 0, a.g.MaxShells(); k <= maxK; k++ {
+		lo, hi, onGrid := a.g.GrownBounds(c, ext, k)
+		if !onGrid {
+			// Unreachable: a grown box always contains its on-grid center.
+			continue
+		}
+		cur := a.boxes.FreeIn(lo, hi)
+		if cur >= size {
+			return cost + k*(size-prev), true
+		}
+		cost += k * (cur - prev)
+		prev = cur
+		if incumbent >= 0 && cost+(k+1)*(size-cur) >= incumbent {
+			return 0, false
+		}
+	}
+	// Unreachable when numFree >= size: the box grown maxK times covers
+	// the whole machine, mirroring the reference gather's termination.
+	return 0, false
 }
 
 // gather collects size free processors into a.gatherBuf in shells around
@@ -429,6 +545,16 @@ func (a *MC) gather(center, ext topo.Point, size int) (int, bool) {
 // average pairwise distance: for every free processor p, take the k-1
 // free processors closest to p and score the set by total pairwise
 // distance; the best-scoring set wins.
+//
+// By default the candidate loop never gathers: the ball index (see
+// internal/occupancy) binary-searches the Manhattan-ball radius holding
+// size free processors, per-axis slice counts reconstruct the member
+// set's coordinate marginals, the boundary ring alone is walked for the
+// row-major tie-breaking tail, and the exact total pairwise distance
+// follows from the marginals because L1 distance separates per axis.
+// Only the winning center performs the real ring gather. Torus machines
+// and dimensionalities without ball support fall back to the reference
+// scorer (wrapped distances do not separate per axis).
 type GenAlg struct {
 	tracker
 	// Persistent candidate scratch, as in MC: nearest fills nearBuf and
@@ -437,10 +563,37 @@ type GenAlg struct {
 	bestBuf []int
 	ringBuf []int
 	axisBuf [topo.MaxDims][]int
+	// Indexed-scoring scratch: per-axis member marginals, and the
+	// previous candidate's ball radius seeding the next radius search
+	// (neighboring centers rarely differ by much).
+	margBuf [topo.MaxDims][]int
+	radius  int
+	maxR    int
 }
 
 // NewGenAlg returns a Gen-Alg allocator over g.
-func NewGenAlg(g *topo.Grid) *GenAlg { return &GenAlg{tracker: newTracker(g)} }
+func NewGenAlg(g *topo.Grid) *GenAlg {
+	a := newGenAlg(g)
+	if !g.Torus() {
+		a.balls = occupancy.NewBalls(g) // nil on unsupported dimensionalities
+	}
+	return a
+}
+
+// NewGenAlgNaive returns the reference Gen-Alg scorer: the pre-index
+// implementation that gathers rings for every candidate. It is retained
+// as the ground truth the indexed scorer is fuzzed against, and as the
+// baseline for the allocator benchmarks.
+func NewGenAlgNaive(g *topo.Grid) *GenAlg { return newGenAlg(g) }
+
+func newGenAlg(g *topo.Grid) *GenAlg {
+	a := &GenAlg{tracker: newTracker(g)}
+	for i := 0; i < g.ND(); i++ {
+		a.margBuf[i] = make([]int, g.Dim(i))
+		a.maxR += g.Dim(i)
+	}
+	return a
+}
 
 // Name implements Allocator.
 func (a *GenAlg) Name() string { return "genalg" }
@@ -450,12 +603,41 @@ func (a *GenAlg) Allocate(req Request) ([]int, error) {
 	if err := a.check(req.Size); err != nil {
 		return nil, err
 	}
+	if a.balls == nil {
+		return a.allocateNaive(req.Size)
+	}
+	bestDist, bestCenter := -1, -1
+	a.radius = 0
+	for center := 0; center < a.g.Size(); center++ {
+		if a.busy[center] {
+			continue
+		}
+		d := a.countPairwise(center, req.Size)
+		if bestDist == -1 || d < bestDist {
+			bestDist, bestCenter = d, center
+		}
+	}
+	if bestCenter == -1 {
+		return nil, ErrInsufficient
+	}
+	a.nearest(bestCenter, req.Size)
+	if d := a.totalPairwise(a.nearBuf); d != bestDist {
+		panic("alloc: occupancy index diverged from the ring gather")
+	}
+	best := append([]int(nil), a.nearBuf...)
+	a.take(best)
+	return best, nil
+}
+
+// allocateNaive is the reference scoring loop: gather the nearest set
+// for every free candidate and keep the first strictly-better one.
+func (a *GenAlg) allocateNaive(size int) ([]int, error) {
 	bestDist := -1
 	for center := 0; center < a.g.Size(); center++ {
 		if a.busy[center] {
 			continue
 		}
-		a.nearest(center, req.Size)
+		a.nearest(center, size)
 		d := a.totalPairwise(a.nearBuf)
 		if bestDist == -1 || d < bestDist {
 			bestDist = d
@@ -465,6 +647,175 @@ func (a *GenAlg) Allocate(req Request) ([]int, error) {
 	best := append([]int(nil), a.bestBuf...)
 	a.take(best)
 	return best, nil
+}
+
+// countPairwise computes the exact total pairwise distance of the set
+// nearest(center, k) would gather, without gathering it: the ball
+// radius from the index, interior per-axis marginals from slice counts,
+// and only the boundary ring walked for the row-major tail.
+func (a *GenAlg) countPairwise(center, k int) int {
+	c := a.g.Coord(center)
+	r, inner := a.ballCutoff(c, k, a.radius)
+	a.radius = r
+	nd := a.g.ND()
+	for ax := 0; ax < nd; ax++ {
+		lo, hi := a.g.ClipInterval(ax, c[ax]-r, c[ax]+r)
+		m := a.margBuf[ax]
+		for v := lo; v < hi; v++ {
+			m[v] = 0
+		}
+	}
+	if inner > 0 {
+		for ax := 0; ax < nd; ax++ {
+			a.balls.AddMarginal(ax, c, r-1, a.margBuf[ax])
+		}
+	}
+	if tail := k - inner; tail > 0 {
+		a.tailMarginals(c, r, tail)
+	}
+	total := 0
+	for ax := 0; ax < nd; ax++ {
+		lo, hi := a.g.ClipInterval(ax, c[ax]-r, c[ax]+r)
+		m := a.margBuf[ax]
+		seen, prefix := 0, 0
+		for v := lo; v < hi; v++ {
+			cnt := m[v]
+			if cnt == 0 {
+				continue
+			}
+			total += cnt * (v*seen - prefix)
+			seen += cnt
+			prefix += v * cnt
+		}
+	}
+	return total
+}
+
+// tailMarginals walks ring r around c in exactly AppendRing's
+// row-major order, adding the first tail free processors to the
+// marginals — the tie-breaking boundary of the candidate set. The ring
+// is enumerated with flat loops and direct id arithmetic (no Coord
+// calls, nothing materialized): the tail is the only part of a
+// candidate the indexed scorer still walks, so it must cost a probe
+// per cell and no more.
+func (a *GenAlg) tailMarginals(c topo.Point, r, tail int) {
+	if a.g.ND() == 2 {
+		w, h := a.g.Dim(0), a.g.Dim(1)
+		for dy := -r; dy <= r; dy++ {
+			y := c[1] + dy
+			if y < 0 || y >= h {
+				continue
+			}
+			dx := r - abs(dy)
+			row := y * w
+			if x := c[0] - dx; x >= 0 && x < w && !a.busy[row+x] {
+				a.margBuf[0][x]++
+				a.margBuf[1][y]++
+				if tail--; tail == 0 {
+					return
+				}
+			}
+			if dx > 0 {
+				if x := c[0] + dx; x >= 0 && x < w && !a.busy[row+x] {
+					a.margBuf[0][x]++
+					a.margBuf[1][y]++
+					if tail--; tail == 0 {
+						return
+					}
+				}
+			}
+		}
+		return
+	}
+	w, h, d := a.g.Dim(0), a.g.Dim(1), a.g.Dim(2)
+	for dz := -r; dz <= r; dz++ {
+		z := c[2] + dz
+		if z < 0 || z >= d {
+			continue
+		}
+		rem := r - abs(dz)
+		zbase := z * w * h
+		for dy := -rem; dy <= rem; dy++ {
+			y := c[1] + dy
+			if y < 0 || y >= h {
+				continue
+			}
+			dx := rem - abs(dy)
+			row := zbase + y*w
+			if x := c[0] - dx; x >= 0 && x < w && !a.busy[row+x] {
+				a.margBuf[0][x]++
+				a.margBuf[1][y]++
+				a.margBuf[2][z]++
+				if tail--; tail == 0 {
+					return
+				}
+			}
+			if dx > 0 {
+				if x := c[0] + dx; x >= 0 && x < w && !a.busy[row+x] {
+					a.margBuf[0][x]++
+					a.margBuf[1][y]++
+					a.margBuf[2][z]++
+					if tail--; tail == 0 {
+						return
+					}
+				}
+			}
+		}
+	}
+}
+
+// ballCutoff returns the smallest radius r whose clipped Manhattan
+// ball around c holds at least k free processors — the cutoff
+// nearest() stops at — together with the free count of the interior
+// ball of radius r-1. It gallops outward or inward from the hint and
+// binary-searches the bracket; with the previous candidate's radius as
+// the hint the common case settles in a single fused two-ball count.
+func (a *GenAlg) ballCutoff(c topo.Point, k, hint int) (r, inner int) {
+	if hint < 0 {
+		hint = 0
+	}
+	if hint > a.maxR {
+		hint = a.maxR
+	}
+	cur, prev := a.balls.FreeInBall2(c, hint)
+	var lo, hi int
+	if cur >= k {
+		if hint == 0 || prev < k {
+			return hint, prev
+		}
+		// Shrink: gallop down while the smaller ball still holds k, then
+		// binary-search the remaining bracket.
+		lo, hi = 0, hint-1
+		for step := 1; hi-step > 0; step *= 2 {
+			if a.balls.FreeInBall(c, hi-step) < k {
+				lo = hi - step + 1
+				break
+			}
+			hi -= step
+		}
+	} else {
+		// Grow: gallop up until a ball holds k (the ball of radius maxR
+		// is the whole machine, which holds numFree >= k), then
+		// binary-search.
+		lo, hi = hint+1, hint+1
+		for step := 1; hi < a.maxR && a.balls.FreeInBall(c, hi) < k; step *= 2 {
+			lo = hi + 1
+			hi += step
+			if hi > a.maxR {
+				hi = a.maxR
+			}
+		}
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if a.balls.FreeInBall(c, mid) >= k {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	_, prev = a.balls.FreeInBall2(c, lo)
+	return lo, prev
 }
 
 // nearest fills a.nearBuf with the k free processors closest to center

@@ -1,0 +1,229 @@
+package alloc
+
+import (
+	"testing"
+
+	"meshalloc/internal/topo"
+)
+
+// Equivalence tests pinning the indexed (count-don't-gather) MC and
+// Gen-Alg scorers to the retained naive reference scorers: same
+// winner, same cost, same ids, on random busy patterns over random 2-D
+// and 3-D grids. The indexed paths must be bit-identical — candidate
+// iteration order, first-strictly-better tie-breaking and gather order
+// included — so the comparison is exact id-slice equality, not
+// score equality alone.
+
+// xorshift is the deterministic pattern generator shared by the
+// equivalence tests and the fuzz harness.
+type xorshift uint64
+
+func (x *xorshift) next() uint64 {
+	v := *x
+	if v == 0 {
+		v = 0x9e3779b97f4a7c15
+	}
+	v ^= v << 13
+	v ^= v >> 7
+	v ^= v << 17
+	*x = v
+	return uint64(v)
+}
+
+func (x *xorshift) intn(n int) int { return int(x.next() % uint64(n)) }
+
+// equivGrid derives a small random 2-D or 3-D grid from sel.
+func equivGrid(sel uint64) *topo.Grid {
+	x := xorshift(sel | 1)
+	if x.intn(2) == 0 {
+		return topo.New([]int{2 + x.intn(10), 2 + x.intn(10)})
+	}
+	return topo.New([]int{2 + x.intn(5), 2 + x.intn(5), 2 + x.intn(5)})
+}
+
+// equivPair builds an indexed/naive allocator pair over g with an
+// identical random busy pattern of roughly density/256 busy cells.
+func equivPair(g *topo.Grid, pattern uint64, density int,
+	mk func(*topo.Grid) Allocator) (indexed, naive Allocator, busy []int) {
+	indexed = mk(g)
+	x := xorshift(pattern | 1)
+	for id := 0; id < g.Size(); id++ {
+		if x.intn(256) < density {
+			busy = append(busy, id)
+		}
+	}
+	switch a := indexed.(type) {
+	case *MC:
+		n := NewMCNaive(g)
+		n.oneByOne = a.oneByOne
+		naive = n
+		if len(busy) > 0 {
+			a.take(busy)
+			n.take(busy)
+		}
+	case *GenAlg:
+		n := NewGenAlgNaive(g)
+		naive = n
+		if len(busy) > 0 {
+			a.take(busy)
+			n.take(busy)
+		}
+	}
+	return indexed, naive, busy
+}
+
+func sameIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// runEquivalence drives an indexed/naive pair through a short
+// allocate/release workload and requires identical outcomes at every
+// step.
+func runEquivalence(t *testing.T, g *topo.Grid, pattern uint64, density int,
+	name string, mk func(*topo.Grid) Allocator) {
+	t.Helper()
+	indexed, naive, _ := equivPair(g, pattern, density, mk)
+	x := xorshift(pattern ^ 0xdeadbeef | 1)
+	var live [][]int
+	for step := 0; step < 6; step++ {
+		free := indexed.NumFree()
+		if free != naive.NumFree() {
+			t.Fatalf("%s dims %v: NumFree diverged: %d vs %d", name, g.Dims(), free, naive.NumFree())
+		}
+		if free == 0 {
+			break
+		}
+		size := 1 + x.intn(min(free, 24))
+		req := Request{Size: size}
+		if x.intn(3) == 0 {
+			// Exercise explicit shapes on the shape-aware path.
+			req.ShapeW, req.ShapeH = 1+x.intn(5), 1+x.intn(5)
+		}
+		got, err1 := indexed.Allocate(req)
+		want, err2 := naive.Allocate(req)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s dims %v size %d: error mismatch: %v vs %v", name, g.Dims(), size, err1, err2)
+		}
+		if err1 != nil {
+			continue
+		}
+		if !sameIDs(got, want) {
+			t.Fatalf("%s dims %v size %d pattern %#x: indexed ids %v != naive ids %v",
+				name, g.Dims(), size, pattern, got, want)
+		}
+		live = append(live, got)
+		if len(live) > 1 && x.intn(2) == 0 {
+			i := x.intn(len(live))
+			indexed.Release(live[i])
+			naive.Release(live[i])
+			live = append(live[:i], live[i+1:]...)
+		}
+	}
+}
+
+var equivVariants = []struct {
+	name string
+	mk   func(*topo.Grid) Allocator
+}{
+	{"mc", func(g *topo.Grid) Allocator { return NewMC(g) }},
+	{"mc1x1", func(g *topo.Grid) Allocator { return NewMC1x1(g) }},
+	{"genalg", func(g *topo.Grid) Allocator { return NewGenAlg(g) }},
+}
+
+// TestIndexedMatchesNaiveRandom sweeps deterministic random grids,
+// densities and workloads for every indexed allocator.
+func TestIndexedMatchesNaiveRandom(t *testing.T) {
+	for _, v := range equivVariants {
+		t.Run(v.name, func(t *testing.T) {
+			x := xorshift(42)
+			for trial := 0; trial < 120; trial++ {
+				g := equivGrid(x.next())
+				density := x.intn(240)
+				runEquivalence(t, g, x.next(), density, v.name, v.mk)
+			}
+		})
+	}
+}
+
+// TestCountCostMatchesGather compares MC's counted candidate cost with
+// the walked gather cost directly, center by center, pruning disabled.
+func TestCountCostMatchesGather(t *testing.T) {
+	x := xorshift(7)
+	for trial := 0; trial < 80; trial++ {
+		g := equivGrid(x.next())
+		a, _, _ := equivPair(g, x.next(), x.intn(230), func(g *topo.Grid) Allocator { return NewMC(g) })
+		mc := a.(*MC)
+		size := 1 + x.intn(min(mc.NumFree()+1, 20))
+		if size > mc.NumFree() {
+			continue
+		}
+		ext := Request{Size: size}.ShapeExt(g.ND())
+		for probe := 0; probe < 10; probe++ {
+			center := x.intn(g.Size())
+			if mc.busy[center] {
+				continue
+			}
+			counted, okC := mc.countCost(g.Coord(center), ext, size, -1)
+			walked, okW := mc.gather(g.Coord(center), ext, size)
+			if okC != okW || counted != walked {
+				t.Fatalf("dims %v center %d size %d: counted (%d, %v) != walked (%d, %v)",
+					g.Dims(), center, size, counted, okC, walked, okW)
+			}
+		}
+	}
+}
+
+// TestCountPairwiseMatchesGather compares Gen-Alg's counted pairwise
+// score with the gathered set's score, center by center.
+func TestCountPairwiseMatchesGather(t *testing.T) {
+	x := xorshift(9)
+	for trial := 0; trial < 80; trial++ {
+		g := equivGrid(x.next())
+		a, n, _ := equivPair(g, x.next(), x.intn(230), func(g *topo.Grid) Allocator { return NewGenAlg(g) })
+		ga, ref := a.(*GenAlg), n.(*GenAlg)
+		if ga.balls == nil {
+			t.Fatalf("dims %v: indexed genalg lacks ball index", g.Dims())
+		}
+		k := 1 + x.intn(min(ga.NumFree()+1, 20))
+		if k > ga.NumFree() {
+			continue
+		}
+		ga.radius = x.intn(5) // any hint must give the same answer
+		for probe := 0; probe < 10; probe++ {
+			center := x.intn(g.Size())
+			if ga.busy[center] {
+				continue
+			}
+			counted := ga.countPairwise(center, k)
+			ref.nearest(center, k)
+			walked := ref.totalPairwise(ref.nearBuf)
+			if counted != walked {
+				t.Fatalf("dims %v center %d k %d: counted %d != walked %d",
+					g.Dims(), center, k, counted, walked)
+			}
+		}
+	}
+}
+
+// FuzzIndexedScoringEquivalence lets the fuzzer hunt for busy patterns
+// where the indexed scorers diverge from the naive references.
+func FuzzIndexedScoringEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(80))
+	f.Add(uint64(0xfeed), uint64(0xbeef), uint8(200))
+	f.Add(uint64(0x1234), uint64(0x5678), uint8(10))
+	f.Add(uint64(42), uint64(42), uint8(128))
+	f.Fuzz(func(t *testing.T, dimSel, pattern uint64, density uint8) {
+		g := equivGrid(dimSel)
+		for _, v := range equivVariants {
+			runEquivalence(t, g, pattern, int(density), v.name, v.mk)
+		}
+	})
+}

@@ -1,0 +1,284 @@
+package occupancy
+
+import "meshalloc/internal/topo"
+
+// Balls counts free processors in clipped Manhattan balls — the
+// geometry of Gen-Alg's nearest-free gather. Torus wraparound is
+// deliberately ignored, exactly as topo's rings ignore it.
+//
+// The machinery is one family of per-slice counters per axis: family a
+// slices the grid at each coordinate of axis a and indexes the busy
+// cells of that slice by the remaining axes. A ball cross-section
+// restricted to a slice is an L1 ball of the remaining dimensionality —
+// an interval on 2-D grids, a diamond on 3-D grids. Intervals are
+// counted by a dense prefix sum per slice (two reads); diamonds become
+// axis-aligned boxes under the 45-degree rotation (u, v) = (p+q, p-q),
+// so each 3-D slice keeps a dense summed-area table over rotated
+// coordinates (four reads) plus a family-wide static prefix table
+// counting which rotated points are real cells (the rotated lattice has
+// parity holes and machine-edge clips). As with Boxes, dense prefixes
+// beat log-structured trees here because Gen-Alg issues hundreds of
+// counts per allocation but only tens of updates.
+//
+// Only 2-D and 3-D grids are supported — NewBalls returns nil
+// otherwise, and callers fall back to walking.
+type Balls struct {
+	g    *topo.Grid
+	nd   int
+	dim  [topo.MaxDims]int
+	fams [3]fam
+}
+
+// fam is the per-slice counter family for one slicing axis.
+type fam struct {
+	p, q     int // remaining axes, ascending; q == -1 on 2-D grids
+	np, nq   int
+	s        int   // rotated extent np+nq-1 (3-D families only)
+	planeLen int   // ints per slice in pref
+	pref     []int // dense per-slice prefix sums over the remaining axes
+	cells    []int // (s+1)^2 static prefix of real rotated cells, 3-D only
+}
+
+// NewBalls returns an empty ball index over g (every processor free),
+// or nil when the grid's dimensionality is not 2 or 3.
+func NewBalls(g *topo.Grid) *Balls {
+	nd := g.ND()
+	if nd != 2 && nd != 3 {
+		return nil
+	}
+	b := &Balls{g: g, nd: nd}
+	for i := 0; i < nd; i++ {
+		b.dim[i] = g.Dim(i)
+	}
+	for a := 0; a < nd; a++ {
+		f := &b.fams[a]
+		f.p, f.q = -1, -1
+		for i := 0; i < nd; i++ {
+			if i == a {
+				continue
+			}
+			if f.p < 0 {
+				f.p = i
+			} else {
+				f.q = i
+			}
+		}
+		f.np = b.dim[f.p]
+		if nd == 2 {
+			// pref[v*planeLen+i] counts busy cells of slice v with
+			// remaining coordinate < i.
+			f.planeLen = f.np + 1
+			f.pref = make([]int, b.dim[a]*f.planeLen)
+			continue
+		}
+		f.nq = b.dim[f.q]
+		f.s = f.np + f.nq - 1
+		// pref[v*planeLen+u*(s+1)+w] counts busy cells of slice v with
+		// rotated coordinates below (u, w).
+		f.planeLen = (f.s + 1) * (f.s + 1)
+		f.pref = make([]int, b.dim[a]*f.planeLen)
+		// Static rotated-cell prefix table, shared by every slice of the
+		// family: cells[u*(s+1)+v] counts real cells with rotated
+		// coordinates below (u, v).
+		f.cells = make([]int, (f.s+1)*(f.s+1))
+		w := f.s + 1
+		for p := 0; p < f.np; p++ {
+			for q := 0; q < f.nq; q++ {
+				u, v := p+q, p-q+f.nq-1
+				f.cells[(u+1)*w+v+1]++
+			}
+		}
+		for u := 0; u <= f.s; u++ {
+			for v := 0; v <= f.s; v++ {
+				i := u*w + v
+				if v > 0 {
+					f.cells[i] += f.cells[i-1]
+				}
+				if u > 0 {
+					f.cells[i] += f.cells[i-w]
+					if v > 0 {
+						f.cells[i] -= f.cells[i-w-1]
+					}
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Take marks one processor busy.
+func (b *Balls) Take(id int) { b.add(b.g.Coord(id), 1) }
+
+// Release marks one processor free.
+func (b *Balls) Release(id int) { b.add(b.g.Coord(id), -1) }
+
+// Reset marks every processor free.
+func (b *Balls) Reset() {
+	for a := 0; a < b.nd; a++ {
+		clear(b.fams[a].pref)
+	}
+}
+
+func (b *Balls) add(p topo.Point, d int) {
+	for a := 0; a < b.nd; a++ {
+		f := &b.fams[a]
+		slice := f.pref[p[a]*f.planeLen:]
+		if b.nd == 2 {
+			for i := p[f.p] + 1; i < f.planeLen; i++ {
+				slice[i] += d
+			}
+			continue
+		}
+		u, v := p[f.p]+p[f.q], p[f.p]-p[f.q]+f.nq-1
+		w := f.s + 1
+		for i := u + 1; i <= f.s; i++ {
+			row := slice[i*w:]
+			for j := v + 1; j <= f.s; j++ {
+				row[j] += d
+			}
+		}
+	}
+}
+
+// SliceFree returns the number of free processors in the cross-section
+// of the Manhattan ball of radius rad around c with the slice
+// axis = v: the cells x with x[axis] == v and the distance over the
+// remaining axes at most rad, clipped to the grid. A negative rad or an
+// off-grid slice counts zero.
+func (b *Balls) SliceFree(axis, v int, c topo.Point, rad int) int {
+	if rad < 0 || v < 0 || v >= b.dim[axis] {
+		return 0
+	}
+	f := &b.fams[axis]
+	if b.nd == 2 {
+		lo := max(c[f.p]-rad, 0)
+		hi := min(c[f.p]+rad+1, f.np)
+		if lo >= hi {
+			return 0
+		}
+		slice := f.pref[v*f.planeLen:]
+		return hi - lo - (slice[hi] - slice[lo])
+	}
+	return b.sliceFree3(f, v, c, rad)
+}
+
+// sliceFree3 counts the free cells of a rotated clipped diamond: real
+// cells from the static table minus busy cells from the slice's
+// summed-area prefix.
+func (b *Balls) sliceFree3(f *fam, v int, c topo.Point, rad int) int {
+	u0, v0 := c[f.p]+c[f.q], c[f.p]-c[f.q]+f.nq-1
+	ulo, uhi := max(u0-rad, 0), min(u0+rad+1, f.s)
+	vlo, vhi := max(v0-rad, 0), min(v0+rad+1, f.s)
+	if ulo >= uhi || vlo >= vhi {
+		return 0
+	}
+	w := f.s + 1
+	a, bb, cc, dd := uhi*w+vhi, ulo*w+vhi, uhi*w+vlo, ulo*w+vlo
+	cells := f.cells[a] - f.cells[bb] - f.cells[cc] + f.cells[dd]
+	slice := f.pref[v*f.planeLen:]
+	busy := slice[a] - slice[bb] - slice[cc] + slice[dd]
+	return cells - busy
+}
+
+// FreeInBall returns the number of free processors at Manhattan
+// distance at most r from c, clipped at machine edges. A negative r
+// counts zero.
+func (b *Balls) FreeInBall(c topo.Point, r int) int {
+	cur, _ := b.FreeInBall2(c, r)
+	return cur
+}
+
+// FreeInBall2 returns the free counts of the balls of radius r and
+// r-1 around c in one pass over the slices — the pair every
+// ball-radius cutoff test needs. The per-dimensionality loops are
+// fused: Gen-Alg calls this for every candidate center, so the
+// per-slice work must be a handful of reads, not a method call.
+func (b *Balls) FreeInBall2(c topo.Point, r int) (cur, prev int) {
+	if r < 0 {
+		return 0, 0
+	}
+	if b.nd == 2 {
+		f := &b.fams[1]
+		cx, cy := c[0], c[1]
+		for v, ve := max(cy-r, 0), min(cy+r, b.dim[1]-1); v <= ve; v++ {
+			rad := r - abs(v-cy)
+			lo, hi := max(cx-rad, 0), min(cx+rad+1, f.np)
+			if lo >= hi {
+				continue
+			}
+			row := f.pref[v*f.planeLen:]
+			cur += hi - lo - (row[hi] - row[lo])
+			if rad > 0 {
+				lo1, hi1 := max(cx-rad+1, 0), min(cx+rad, f.np)
+				if lo1 < hi1 {
+					prev += hi1 - lo1 - (row[hi1] - row[lo1])
+				}
+			}
+		}
+		return cur, prev
+	}
+	f := &b.fams[2]
+	u0, v0 := c[f.p]+c[f.q], c[f.p]-c[f.q]+f.nq-1
+	cz := c[2]
+	for z, ze := max(cz-r, 0), min(cz+r, b.dim[2]-1); z <= ze; z++ {
+		rad := r - abs(z-cz)
+		slice := f.pref[z*f.planeLen:]
+		cur += diamondFree(f, slice, u0, v0, rad)
+		if rad > 0 {
+			prev += diamondFree(f, slice, u0, v0, rad-1)
+		}
+	}
+	return cur, prev
+}
+
+// diamondFree counts the free cells of one rotated clipped diamond of
+// radius rad in a 3-D family slice.
+func diamondFree(f *fam, slice []int, u0, v0, rad int) int {
+	ulo, uhi := max(u0-rad, 0), min(u0+rad+1, f.s)
+	vlo, vhi := max(v0-rad, 0), min(v0+rad+1, f.s)
+	if ulo >= uhi || vlo >= vhi {
+		return 0
+	}
+	w := f.s + 1
+	a, b, c, d := uhi*w+vhi, ulo*w+vhi, uhi*w+vlo, ulo*w+vlo
+	return f.cells[a] - f.cells[b] - f.cells[c] + f.cells[d] -
+		(slice[a] - slice[b] - slice[c] + slice[d])
+}
+
+// AddMarginal accumulates the per-slice free counts of the ball of
+// radius rad around c into m, indexed by the slice coordinate along
+// axis: m[v] += SliceFree(axis, v, c, rad - |v - c[axis]|) for every
+// on-grid v the ball reaches. This is how Gen-Alg reconstructs a
+// candidate set's coordinate marginal in one fused pass.
+func (b *Balls) AddMarginal(axis int, c topo.Point, rad int, m []int) {
+	if rad < 0 {
+		return
+	}
+	f := &b.fams[axis]
+	ca := c[axis]
+	if b.nd == 2 {
+		cp := c[f.p]
+		for v, ve := max(ca-rad, 0), min(ca+rad, b.dim[axis]-1); v <= ve; v++ {
+			rv := rad - abs(v-ca)
+			lo, hi := max(cp-rv, 0), min(cp+rv+1, f.np)
+			if lo >= hi {
+				continue
+			}
+			row := f.pref[v*f.planeLen:]
+			m[v] += hi - lo - (row[hi] - row[lo])
+		}
+		return
+	}
+	u0, v0 := c[f.p]+c[f.q], c[f.p]-c[f.q]+f.nq-1
+	for v, ve := max(ca-rad, 0), min(ca+rad, b.dim[axis]-1); v <= ve; v++ {
+		rv := rad - abs(v-ca)
+		m[v] += diamondFree(f, f.pref[v*f.planeLen:], u0, v0, rv)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

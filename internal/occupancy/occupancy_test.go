@@ -1,0 +1,230 @@
+package occupancy
+
+import (
+	"math/rand"
+	"testing"
+
+	"meshalloc/internal/topo"
+)
+
+// busyModel is the brute-force mirror the indexes are tested against.
+type busyModel struct {
+	g    *topo.Grid
+	busy []bool
+}
+
+func newModel(g *topo.Grid) *busyModel {
+	return &busyModel{g: g, busy: make([]bool, g.Size())}
+}
+
+func (m *busyModel) freeInBox(lo, hi topo.Point) int {
+	n := 0
+	for id := 0; id < m.g.Size(); id++ {
+		p := m.g.Coord(id)
+		in := true
+		for i := 0; i < topo.MaxDims; i++ {
+			if p[i] < lo[i] || p[i] >= hi[i] {
+				in = false
+				break
+			}
+		}
+		if in && !m.busy[id] {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *busyModel) freeInBall(c topo.Point, r int) int {
+	n := 0
+	for id := 0; id < m.g.Size(); id++ {
+		if !m.busy[id] && m.g.Coord(id).Manhattan(c) <= r {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *busyModel) sliceFree(axis, v int, c topo.Point, rad int) int {
+	n := 0
+	for id := 0; id < m.g.Size(); id++ {
+		p := m.g.Coord(id)
+		if m.busy[id] || p[axis] != v {
+			continue
+		}
+		d := 0
+		for i := 0; i < m.g.ND(); i++ {
+			if i == axis {
+				continue
+			}
+			dd := p[i] - c[i]
+			if dd < 0 {
+				dd = -dd
+			}
+			d += dd
+		}
+		if d <= rad {
+			n++
+		}
+	}
+	return n
+}
+
+// toggleRandom flips a random cell's busy state across model and both
+// indexes, keeping the three views in lockstep.
+func toggleRandom(rng *rand.Rand, m *busyModel, boxes *Boxes, balls *Balls) {
+	id := rng.Intn(m.g.Size())
+	if m.busy[id] {
+		m.busy[id] = false
+		boxes.Release(id)
+		if balls != nil {
+			balls.Release(id)
+		}
+	} else {
+		m.busy[id] = true
+		boxes.Take(id)
+		if balls != nil {
+			balls.Take(id)
+		}
+	}
+}
+
+func TestBoxesMatchesBruteForce(t *testing.T) {
+	for _, dims := range [][]int{{7}, {6, 9}, {16, 22}, {5, 4, 6}, {3, 4, 2, 3}} {
+		g := topo.New(dims)
+		m := newModel(g)
+		boxes := NewBoxes(g)
+		rng := rand.New(rand.NewSource(1))
+		for step := 0; step < 200; step++ {
+			toggleRandom(rng, m, boxes, nil)
+			// Random clipped boxes, including degenerate and full-grid.
+			var lo, hi topo.Point
+			for i := 0; i < topo.MaxDims; i++ {
+				lo[i], hi[i] = 0, 1
+			}
+			for i := 0; i < g.ND(); i++ {
+				a, b := rng.Intn(g.Dim(i)+1), rng.Intn(g.Dim(i)+1)
+				if a > b {
+					a, b = b, a
+				}
+				lo[i], hi[i] = a, b
+			}
+			want := m.freeInBox(lo, hi)
+			if got := boxes.FreeIn(lo, hi); got != want {
+				t.Fatalf("dims %v step %d: FreeIn(%v, %v) = %d, want %d",
+					dims, step, lo, hi, got, want)
+			}
+		}
+	}
+}
+
+func TestBoxesShellCountsMatchShellWalk(t *testing.T) {
+	// The box index's raison d'etre: free counts per MC shell must agree
+	// with the walked shells, clipping included.
+	for _, dims := range [][]int{{9, 7}, {8, 8, 8}} {
+		g := topo.New(dims)
+		m := newModel(g)
+		boxes := NewBoxes(g)
+		rng := rand.New(rand.NewSource(2))
+		for step := 0; step < 60; step++ {
+			toggleRandom(rng, m, boxes, nil)
+			var c, ext topo.Point
+			for i := 0; i < topo.MaxDims; i++ {
+				ext[i] = 1
+			}
+			for i := 0; i < g.ND(); i++ {
+				c[i] = rng.Intn(g.Dim(i))
+				ext[i] = 1 + rng.Intn(4)
+			}
+			prev := 0
+			for k := 0; k <= g.MaxShells(); k++ {
+				walked := 0
+				g.ShellEach(c, ext, k, func(id int) bool {
+					if !m.busy[id] {
+						walked++
+					}
+					return true
+				})
+				lo, hi, ok := g.GrownBounds(c, ext, k)
+				if !ok {
+					t.Fatalf("dims %v: GrownBounds empty for on-grid center", dims)
+				}
+				cur := boxes.FreeIn(lo, hi)
+				if cur-prev != walked {
+					t.Fatalf("dims %v c %v ext %v shell %d: counted %d, walked %d",
+						dims, c, ext, k, cur-prev, walked)
+				}
+				prev = cur
+			}
+		}
+	}
+}
+
+func TestBallsMatchesBruteForce(t *testing.T) {
+	for _, dims := range [][]int{{6, 9}, {16, 22}, {5, 4, 6}, {8, 8, 8}} {
+		g := topo.New(dims)
+		m := newModel(g)
+		boxes := NewBoxes(g)
+		balls := NewBalls(g)
+		if balls == nil {
+			t.Fatalf("dims %v: NewBalls returned nil", dims)
+		}
+		maxR := 0
+		for i := 0; i < g.ND(); i++ {
+			maxR += g.Dim(i)
+		}
+		rng := rand.New(rand.NewSource(3))
+		for step := 0; step < 120; step++ {
+			toggleRandom(rng, m, boxes, balls)
+			var c topo.Point
+			for i := 0; i < g.ND(); i++ {
+				c[i] = rng.Intn(g.Dim(i))
+			}
+			r := rng.Intn(maxR+2) - 1 // includes -1 and beyond-grid radii
+			if got, want := balls.FreeInBall(c, r), m.freeInBall(c, r); got != want {
+				t.Fatalf("dims %v step %d: FreeInBall(%v, %d) = %d, want %d",
+					dims, step, c, r, got, want)
+			}
+			axis := rng.Intn(g.ND())
+			v := rng.Intn(g.Dim(axis)+2) - 1
+			rad := rng.Intn(maxR+2) - 1
+			got := balls.SliceFree(axis, v, c, rad)
+			want := 0
+			if v >= 0 && v < g.Dim(axis) && rad >= 0 {
+				want = m.sliceFree(axis, v, c, rad)
+			}
+			if got != want {
+				t.Fatalf("dims %v step %d: SliceFree(%d, %d, %v, %d) = %d, want %d",
+					dims, step, axis, v, c, rad, got, want)
+			}
+		}
+	}
+}
+
+func TestBallsUnsupportedDimensions(t *testing.T) {
+	if b := NewBalls(topo.New([]int{9})); b != nil {
+		t.Error("1-D grid should not build a ball index")
+	}
+	if b := NewBalls(topo.New([]int{3, 3, 3, 3})); b != nil {
+		t.Error("4-D grid should not build a ball index")
+	}
+}
+
+func TestResetClearsCounts(t *testing.T) {
+	g := topo.New([]int{6, 5, 4})
+	boxes := NewBoxes(g)
+	balls := NewBalls(g)
+	for id := 0; id < g.Size(); id += 3 {
+		boxes.Take(id)
+		balls.Take(id)
+	}
+	boxes.Reset()
+	balls.Reset()
+	lo, hi, _ := g.GrownBounds(topo.XYZ(3, 2, 2), topo.XYZ(1, 1, 1), g.MaxShells())
+	if got := boxes.FreeIn(lo, hi); got != g.Size() {
+		t.Errorf("boxes after Reset: FreeIn(all) = %d, want %d", got, g.Size())
+	}
+	if got := balls.FreeInBall(topo.XYZ(3, 2, 2), 100); got != g.Size() {
+		t.Errorf("balls after Reset: FreeInBall(all) = %d, want %d", got, g.Size())
+	}
+}

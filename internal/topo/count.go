@@ -1,0 +1,47 @@
+package topo
+
+// Clipped-box bound helpers: the counting primitives behind the
+// occupancy index. MC-style scoring asks "how many free processors lie
+// in shell k around this candidate" without walking the shell; for the
+// answer to be bit-identical to the walk, the box bounds used for
+// counting must clip exactly the way shellWalk clips. These helpers
+// expose that arithmetic.
+
+// GrownBounds returns the on-grid bounds of the box of active extents
+// ext centered on c and grown by k on every side — the outer boundary
+// of shell k, clipped to the grid exactly as shellWalk clips it. The
+// region is the half-open box [lo, hi); axes at or above the grid's
+// dimensionality are returned as [0, 1) so BoxVolume works over all
+// MaxDims axes. The second result is false when the clipped box is
+// empty (only possible for k < 0 or a zero extent).
+func (g *Grid) GrownBounds(c, ext Point, k int) (lo, hi Point, ok bool) {
+	for i := 0; i < g.nd; i++ {
+		base := c[i] - ext[i]/2
+		lo[i] = max(base-k, 0)
+		hi[i] = min(base+ext[i]+k, g.dim[i])
+		if lo[i] >= hi[i] {
+			return lo, hi, false
+		}
+	}
+	for i := g.nd; i < MaxDims; i++ {
+		lo[i], hi[i] = 0, 1
+	}
+	return lo, hi, true
+}
+
+// BoxVolume returns the number of cells in the half-open box [lo, hi)
+// as produced by GrownBounds. It assumes lo <= hi on every axis.
+func BoxVolume(lo, hi Point) int {
+	v := 1
+	for i := 0; i < MaxDims; i++ {
+		v *= hi[i] - lo[i]
+	}
+	return v
+}
+
+// ClipInterval returns the intersection of [lo, hi] (inclusive) with
+// axis a's extent as a half-open interval [clo, chi); chi <= clo when
+// the intersection is empty.
+func (g *Grid) ClipInterval(a, lo, hi int) (clo, chi int) {
+	return max(lo, 0), min(hi+1, g.dim[a])
+}

@@ -373,3 +373,58 @@ func TestComponentsOrdering(t *testing.T) {
 		t.Fatal("components not ordered by smallest id")
 	}
 }
+
+// TestGrownBoundsMatchesShellWalkClipping pins the counting-side clip
+// arithmetic (GrownBounds/BoxVolume) to the walking side: the volume of
+// shell k's clipped outer box must equal the nodes AppendShell visits
+// across shells 0..k, for centers and extents all over the grid,
+// including off-edge clipping.
+func TestGrownBoundsMatchesShellWalkClipping(t *testing.T) {
+	for _, dims := range [][]int{{7, 5}, {6, 4, 5}} {
+		g := New(dims)
+		var buf []int
+		for id := 0; id < g.Size(); id += 3 {
+			c := g.Coord(id)
+			var ext Point
+			for i := 0; i < MaxDims; i++ {
+				ext[i] = 1
+			}
+			for i := 0; i < g.ND(); i++ {
+				ext[i] = 1 + (id+i)%3
+			}
+			walked := 0
+			for k := 0; k <= g.MaxShells(); k++ {
+				walked += len(g.AppendShell(buf[:0], c, ext, k))
+				lo, hi, ok := g.GrownBounds(c, ext, k)
+				if !ok {
+					t.Fatalf("dims %v c %v k %d: GrownBounds empty for on-grid center", dims, c, k)
+				}
+				if got := BoxVolume(lo, hi); got != walked {
+					t.Fatalf("dims %v c %v ext %v k %d: BoxVolume %d, walked cumulative %d",
+						dims, c, ext, k, got, walked)
+				}
+			}
+		}
+	}
+}
+
+func TestClipInterval(t *testing.T) {
+	g := New([]int{10, 4})
+	tests := []struct {
+		axis, lo, hi   int
+		wantLo, wantHi int
+	}{
+		{0, 2, 7, 2, 8},
+		{0, -3, 100, 0, 10},
+		{1, -1, 1, 0, 2},
+		{1, 5, 9, 5, 4}, // off-grid: empty, signalled by chi <= clo
+		{0, 9, 9, 9, 10},
+	}
+	for _, tc := range tests {
+		clo, chi := g.ClipInterval(tc.axis, tc.lo, tc.hi)
+		if clo != tc.wantLo || chi != tc.wantHi {
+			t.Errorf("ClipInterval(%d, %d, %d) = [%d, %d), want [%d, %d)",
+				tc.axis, tc.lo, tc.hi, clo, chi, tc.wantLo, tc.wantHi)
+		}
+	}
+}

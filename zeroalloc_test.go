@@ -130,6 +130,47 @@ func TestAllocatorSteadyStateAllocs(t *testing.T) {
 	}
 }
 
+// TestIndexedAllocatorSteadyStateAllocs pins the count-don't-gather
+// MC/MC1x1/Gen-Alg scorers at one allocation per cycle on a
+// production-scale machine at mixed occupancy: the occupancy-index
+// queries (box counts, ball counts, marginals) and the winner-only
+// gather must all run in persistent scratch.
+func TestIndexedAllocatorSteadyStateAllocs(t *testing.T) {
+	for _, dims := range [][]int{{32, 32}, {16, 16, 16}} {
+		g := topo.New(dims)
+		for _, spec := range []string{"mc", "mc1x1", "genalg"} {
+			t.Run(fmt.Sprintf("%v/%s", dims, spec), func(t *testing.T) {
+				a, err := alloc.Spec(g, spec, 1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Mixed occupancy plus scratch warm-up.
+				var live [][]int
+				for a.NumFree() > g.Size()/3 {
+					ids, err := a.Allocate(alloc.Request{Size: 1 + len(live)%29})
+					if err != nil {
+						t.Fatal(err)
+					}
+					live = append(live, ids)
+				}
+				for i := 0; i < len(live); i += 4 {
+					a.Release(live[i])
+				}
+				n := testing.AllocsPerRun(30, func() {
+					ids, err := a.Allocate(alloc.Request{Size: 48})
+					if err != nil {
+						t.Fatal(err)
+					}
+					a.Release(ids)
+				})
+				if n > 1 {
+					t.Fatalf("%s Allocate+Release allocates %.1f objects/run at mixed occupancy, want <= 1", spec, n)
+				}
+			})
+		}
+	}
+}
+
 // TestGridWalkersZeroAlloc pins the dimension-generic route, shell and
 // ring walkers at zero allocations on 2-D and 3-D grids alike.
 func TestGridWalkersZeroAlloc(t *testing.T) {
