@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 	"sync"
 	"testing"
@@ -369,6 +370,100 @@ func BenchmarkAblationCube3D(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- Engine / open-system benches (see BENCH.md: BENCH_4.json) ---
+
+// BenchmarkEngineVsBatch compares the batch Run wrapper against the
+// streaming engine on the same closed workload: "batch" retains every
+// record and node slice, "engine-discard" streams records through an
+// observer and keeps O(1) per-job state. The outputs agree exactly
+// (see sim's equivalence tests); the difference is wall time and
+// allocated bytes, reported per job for BENCH_4.json.
+func BenchmarkEngineVsBatch(b *testing.B) {
+	const jobs = 5000
+	tr := benchTrace(jobs, 256)
+	cfg := sim.Config{
+		MeshW: 16, MeshH: 16,
+		Alloc: "hilbert/bestfit", Pattern: "nbody",
+		Load: 0.4, TimeScale: 0.01, Seed: 1,
+	}
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := sim.Run(cfg, tr)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(res.Records) != jobs {
+				b.Fatal("short run")
+			}
+		}
+		reportMetric(b, "ns_per_job", float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs))
+	})
+	b.Run("engine-discard", func(b *testing.B) {
+		scfg := cfg
+		scfg.KeepRecords, scfg.KeepNodes = sim.Discard, sim.Discard
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			e, err := sim.NewEngine(scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			count := 0
+			e.Observe(func(sim.JobRecord) { count++ })
+			if err := e.RunSource(tr.Source(), 0); err != nil {
+				b.Fatal(err)
+			}
+			if count != jobs {
+				b.Fatal("short run")
+			}
+		}
+		reportMetric(b, "ns_per_job", float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs))
+	})
+}
+
+// BenchmarkOpenSystemMillionJobs is the scale acceptance bench: one
+// million open-system jobs through a Discard engine. Tiny message
+// quotas keep the bench about event-loop and allocation machinery, not
+// network arithmetic; bytes_per_job and live_heap_mb document the
+// constant-memory claim in BENCH_4.json.
+func BenchmarkOpenSystemMillionJobs(b *testing.B) {
+	const jobs = 1_000_000
+	var m0, m1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&m0)
+	for i := 0; i < b.N; i++ {
+		cfg := sim.Config{
+			MeshW: 16, MeshH: 16,
+			Alloc: "hilbert/bestfit", Pattern: "nbody",
+			Seed:          1,
+			MsgsPerSecond: 1e-4,
+			KeepRecords:   sim.Discard,
+			KeepNodes:     sim.Discard,
+		}
+		e, err := sim.NewEngine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		count := 0
+		e.Observe(func(sim.JobRecord) { count++ })
+		if err := e.RunSource(trace.Limit(trace.NewPoisson(1000, 256, 1), jobs), 0); err != nil {
+			b.Fatal(err)
+		}
+		if count != jobs {
+			b.Fatalf("finished %d jobs", count)
+		}
+		res := e.Result()
+		if res.Jobs != jobs || res.MeanResponse <= 0 {
+			b.Fatalf("degenerate result: %+v", res)
+		}
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&m1)
+	reportMetric(b, "ns_per_job", float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs))
+	reportMetric(b, "bytes_per_job", float64(m1.TotalAlloc-m0.TotalAlloc)/float64(uint64(b.N)*jobs))
+	reportMetric(b, "live_heap_mb", float64(m1.HeapAlloc)/(1<<20))
 }
 
 // --- Micro-benchmarks of the substrates ---

@@ -30,14 +30,15 @@ func main() {
 		full     = flag.Bool("full", false, "replay the full 6087-job trace (slow)")
 		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
 		reps     = flag.Int("reps", 1, "replications per configuration (mean ± sd across seeds)")
-		ext      = flag.Bool("ext", false, "also run the extension experiments (ext-contiguous, ext-scheduler, ext-routing, ext-mixed, ext-cube, ext-cube3d)")
+		ext      = flag.Bool("ext", false, "also run the extension experiments (ext-contiguous, ext-scheduler, ext-routing, ext-mixed, ext-cube, ext-cube3d, ext-steady)")
+		sched    = flag.String("sched", "", "scheduling policy for extension runs (fcfs, easy or sjf; empty = each experiment's default)")
 		csvDir   = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
 		doPlot   = flag.Bool("plot", false, "render ASCII charts for figures with series data")
 		check    = flag.Bool("check", false, "run the reproduction scorecard instead of figures")
 	)
 	flag.Parse()
 
-	opt := core.Options{Jobs: *jobs, TimeScale: *scale, Seed: *seed, Parallelism: *parallel, Replications: *reps}
+	opt := core.Options{Jobs: *jobs, TimeScale: *scale, Seed: *seed, Parallelism: *parallel, Replications: *reps, Scheduler: *sched}
 	if *full {
 		opt.Jobs = 6087
 	}

@@ -1,16 +1,24 @@
-// Command simrun executes a single allocation/pattern simulation over a
-// synthetic SDSC Paragon trace (or a trace file) and prints the summary
-// metrics: mean/median response time, contiguity, and network statistics.
+// Command simrun executes a single allocation/pattern simulation and
+// prints the summary metrics: mean/median response time, contiguity,
+// and network statistics. The workload is a closed-system replay of a
+// synthetic SDSC Paragon trace (or a trace file), or — with -arrival —
+// an open-system stream whose per-job records stream out as NDJSON and
+// whose aggregates come from the engine's constant-memory streaming
+// statistics.
 //
 // Example:
 //
 //	simrun -mesh 16x22 -alloc hilbert/bestfit -pattern nbody -load 0.6
 //	simrun -mesh 8x8x8 -alloc hilbert/bestfit -pattern nbody      # native 3-D
+//	simrun -mesh 16x16 -arrival poisson:900 -duration 1e6 -stream  # open system
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -30,9 +38,9 @@ func main() {
 		pattern   = flag.String("pattern", "alltoall", "communication pattern (alltoall, nbody, random, ring, pingpong, testsuite)")
 		load      = flag.Float64("load", 1.0, "arrival contraction factor (1 down to 0.2)")
 		timeScale = flag.Float64("timescale", 0.02, "trace time contraction for tractability")
-		jobs      = flag.Int("jobs", 6087, "number of synthetic trace jobs")
+		jobs      = flag.Int("jobs", 6087, "number of synthetic trace jobs (also caps open-system streams)")
 		seed      = flag.Int64("seed", 1, "random seed")
-		scheduler = flag.String("sched", "fcfs", "scheduling policy (fcfs or easy)")
+		scheduler = flag.String("sched", "fcfs", "scheduling policy (fcfs, easy or sjf)")
 		issue     = flag.String("issue", "phased", "message issue mode (phased or sequential)")
 		routing   = flag.String("routing", "xy", "network routing (xy, yx, adaptive)")
 		torus     = flag.Bool("torus", false, "wraparound (torus) links")
@@ -41,6 +49,9 @@ func main() {
 		verbose   = flag.Bool("v", false, "print per-job records")
 		heatmap   = flag.Bool("heatmap", false, "print a node-level link-utilization heatmap")
 		disperse  = flag.Bool("dispersal", false, "print aggregate dispersal metrics of the allocations")
+		stream    = flag.Bool("stream", false, "stream per-job records as NDJSON to stdout (summary goes to stderr); records are not retained")
+		arrival   = flag.String("arrival", "", "open-system arrival process: poisson:MEANSEC or bursty:MEANSEC,ONSEC,OFFSEC (empty = closed trace replay)")
+		duration  = flag.Float64("duration", 0, "open-system horizon in trace seconds (0 = run until the -jobs cap)")
 	)
 	flag.Parse()
 
@@ -52,26 +63,6 @@ func main() {
 	for _, d := range dims {
 		size *= d
 	}
-
-	var tr *trace.Trace
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
-		if err != nil {
-			fatal(err)
-		}
-		if *swf {
-			tr, err = trace.ReadSWF(f)
-		} else {
-			tr, err = trace.Read(f)
-		}
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		tr = trace.NewSDSC(trace.SDSCConfig{Jobs: *jobs, MaxSize: size, Seed: *seed})
-	}
-	tr = tr.FilterMaxSize(size)
 
 	cfg := sim.Config{
 		Dims:      dims,
@@ -95,26 +86,75 @@ func main() {
 	cfg.Net = netsim.DefaultConfig()
 	cfg.Net.Routing = route
 
-	res, err := sim.Run(cfg, tr)
+	// Streaming and open-system runs discard records; the per-record
+	// reports need the retained slice.
+	if (*stream || *arrival != "") && (*verbose || *disperse) {
+		fatal(fmt.Errorf("-v and -dispersal need retained records; drop -stream/-arrival"))
+	}
+
+	var res *sim.Result
+	if *arrival != "" {
+		if *traceFile != "" {
+			fatal(fmt.Errorf("-arrival generates its own workload; drop -trace"))
+		}
+		res, err = runOpen(cfg, *arrival, size, *seed, *jobs, *duration, *stream)
+	} else {
+		var tr *trace.Trace
+		if *traceFile != "" {
+			f, oerr := os.Open(*traceFile)
+			if oerr != nil {
+				fatal(oerr)
+			}
+			if *swf {
+				tr, err = trace.ReadSWF(f)
+			} else {
+				tr, err = trace.Read(f)
+			}
+			f.Close()
+			if err != nil {
+				fatal(err)
+			}
+		} else {
+			tr = trace.NewSDSC(trace.SDSCConfig{Jobs: *jobs, MaxSize: size, Seed: *seed})
+		}
+		tr = tr.FilterMaxSize(size)
+		if *stream {
+			res, err = runStreaming(cfg, tr)
+		} else {
+			res, err = sim.Run(cfg, tr)
+		}
+	}
 	if err != nil {
 		fatal(err)
 	}
 
-	fmt.Printf("mesh %s  alloc %-18s pattern %-9s load %.2f  jobs %d\n",
-		*meshSpec, *allocSpec, *pattern, *load, len(res.Records))
-	fmt.Printf("mean response    %14.0f s\n", res.MeanResponse)
-	fmt.Printf("median response  %14.0f s\n", res.MedianResponse)
-	fmt.Printf("makespan         %14.0f s\n", res.Makespan)
-	fmt.Printf("contiguous       %13.1f %%   avg components %.2f\n", res.PctContiguous, res.AvgComponents)
-	fmt.Printf("network: %d messages, avg %.2f hops, avg latency %.3f s (scaled)\n",
+	// With -stream, stdout carries the NDJSON records; the summary
+	// moves to stderr so the record stream stays machine-readable.
+	sum := os.Stdout
+	if *stream {
+		sum = os.Stderr
+	}
+	fmt.Fprintf(sum, "mesh %s  alloc %-18s pattern %-9s load %.2f  jobs %d\n",
+		*meshSpec, *allocSpec, *pattern, *load, res.Jobs)
+	fmt.Fprintf(sum, "mean response    %14.0f s\n", res.MeanResponse)
+	// Without retained records the median is the P² streaming estimate
+	// (coarse on short heavy-tailed runs); say so.
+	if res.Records == nil {
+		fmt.Fprintf(sum, "median response  %14.0f s (P² estimate)\n", res.MedianResponse)
+	} else {
+		fmt.Fprintf(sum, "median response  %14.0f s\n", res.MedianResponse)
+	}
+	fmt.Fprintf(sum, "makespan         %14.0f s\n", res.Makespan)
+	fmt.Fprintf(sum, "contiguous       %13.1f %%   avg components %.2f\n", res.PctContiguous, res.AvgComponents)
+	fmt.Fprintf(sum, "network: %d messages, avg %.2f hops, avg latency %.3f s (scaled)\n",
 		res.Net.Messages, res.Net.AvgHops(), res.Net.AvgLatency())
 
 	if *heatmap {
 		if len(dims) != 2 {
 			fatal(fmt.Errorf("-heatmap renders 2-D meshes only (got %s)", *meshSpec))
 		}
-		fmt.Println("\nlink-utilization heatmap (0-9 per node, '.' = idle):")
-		fmt.Print(renderHeatmap(res.NodeUtilization, dims[0], dims[1]))
+		fmt.Fprintln(sum, "\nlink-utilization heatmap (0-9 per node, '.' = idle):")
+		fmt.Fprint(sum, renderHeatmap(res.NodeUtilization, dims[0], dims[1]))
 	}
 
 	if *disperse {
@@ -143,6 +183,111 @@ func main() {
 			fmt.Printf("%4d  %4d  %8d  %11.0f  %11.0f  %8.2f  %7.2f  %4d\n",
 				r.ID, r.Size, r.Quota, r.Response, r.RunTime, r.AvgPairwise, r.AvgMsgDist, r.Components)
 		}
+	}
+}
+
+// runOpen simulates an open-system workload: arrivals from the spec'd
+// process, streamed through the engine with record retention off so
+// the run holds constant memory no matter how many jobs pass through.
+// Node lists stay on (the per-record copies are transient), so -stream
+// emits the same NDJSON schema in open and closed mode. The stream
+// ends at the horizon (trace seconds) or the jobs cap, whichever comes
+// first.
+func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, horizon float64, stream bool) (*sim.Result, error) {
+	src, err := parseArrival(spec, maxSize, seed)
+	if err != nil {
+		return nil, err
+	}
+	cfg.KeepRecords = sim.Discard
+	e, err := sim.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	flush := func() {}
+	if stream {
+		flush = observeNDJSON(e)
+	}
+	if err := e.RunSource(trace.Limit(src, jobs), horizon); err != nil {
+		return nil, err
+	}
+	// A horizon stop leaves in-flight jobs pending; let them finish so
+	// the summary covers every admitted job.
+	e.Drain()
+	flush()
+	return e.Result(), nil
+}
+
+// runStreaming replays a closed-system trace but streams every record
+// as NDJSON instead of retaining it; summary statistics come from the
+// engine's streaming aggregates. Jobs are submitted up front exactly
+// as sim.Run does, so -stream changes the output format only — even
+// event-time ties resolve in the same order as the batch path.
+func runStreaming(cfg sim.Config, tr *trace.Trace) (*sim.Result, error) {
+	cfg.KeepRecords = sim.Discard
+	e, err := sim.NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	flush := observeNDJSON(e)
+	for _, j := range tr.Jobs {
+		if err := e.Submit(j); err != nil {
+			return nil, err
+		}
+	}
+	e.Drain()
+	if e.Deadlocked() {
+		return nil, fmt.Errorf("deadlock with %d queued and %d running jobs", e.Pending(), e.RunningJobs())
+	}
+	flush()
+	return e.Result(), nil
+}
+
+// observeNDJSON attaches an observer encoding each record as one JSON
+// line on stdout and returns the buffer flush.
+func observeNDJSON(e *sim.Engine) (flush func()) {
+	w := bufio.NewWriter(os.Stdout)
+	enc := json.NewEncoder(w)
+	e.Observe(func(r sim.JobRecord) {
+		if err := enc.Encode(r); err != nil {
+			fatal(err)
+		}
+	})
+	return func() {
+		if err := w.Flush(); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// parseArrival builds the open-system source from its flag spec:
+// "poisson:MEANSEC" or "bursty:MEANSEC,ONSEC,OFFSEC".
+func parseArrival(spec string, maxSize int, seed int64) (trace.Source, error) {
+	kind, args, _ := strings.Cut(spec, ":")
+	var nums []float64
+	if args != "" {
+		for _, p := range strings.Split(args, ",") {
+			v, err := strconv.ParseFloat(p, 64)
+			// NaN fails every comparison and ±Inf passes v > 0, so
+			// reject non-finite values explicitly.
+			if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+				return nil, fmt.Errorf("bad arrival parameter %q in %q", p, spec)
+			}
+			nums = append(nums, v)
+		}
+	}
+	switch kind {
+	case "poisson":
+		if len(nums) != 1 {
+			return nil, fmt.Errorf("poisson arrival wants poisson:MEANSEC, got %q", spec)
+		}
+		return trace.NewPoisson(nums[0], maxSize, seed), nil
+	case "bursty":
+		if len(nums) != 3 {
+			return nil, fmt.Errorf("bursty arrival wants bursty:MEANSEC,ONSEC,OFFSEC, got %q", spec)
+		}
+		return trace.NewBursty(nums[0], nums[1], nums[2], maxSize, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q (want poisson or bursty)", kind)
 	}
 }
 

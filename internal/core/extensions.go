@@ -29,6 +29,7 @@ func ExtContiguous(o Options) (*Figure, error) {
 			Load:      0.4,
 			TimeScale: o.TimeScale,
 			Seed:      o.Seed,
+			Scheduler: o.Scheduler,
 		}, tr)
 	})
 	if err != nil {
@@ -139,6 +140,7 @@ func ExtRouting(o Options) (*Figure, error) {
 			Load:      0.4,
 			TimeScale: o.TimeScale,
 			Seed:      o.Seed,
+			Scheduler: o.Scheduler,
 			Net:       netsim.DefaultConfig(),
 		}
 		cfg.Net.Routing = k.route
@@ -177,6 +179,7 @@ func ExtMixed(o Options) (*Figure, error) {
 			Load:      0.2,
 			TimeScale: o.TimeScale,
 			Seed:      o.Seed,
+			Scheduler: o.Scheduler,
 		}, tr)
 	})
 	if err != nil {
@@ -263,6 +266,7 @@ func ExtCube3D(o Options) (*Figure, error) {
 			Load:      0.2,
 			TimeScale: o.TimeScale,
 			Seed:      o.Seed,
+			Scheduler: o.Scheduler,
 		}, tr)
 	})
 	if err != nil {
@@ -307,7 +311,7 @@ func ExtCube3D(o Options) (*Figure, error) {
 
 // AllExtensionIDs lists the extension experiments.
 func AllExtensionIDs() []string {
-	return []string{"ext-contiguous", "ext-scheduler", "ext-routing", "ext-mixed", "ext-cube", "ext-cube3d"}
+	return []string{"ext-contiguous", "ext-scheduler", "ext-routing", "ext-mixed", "ext-cube", "ext-cube3d", "ext-steady"}
 }
 
 // ExtensionByID returns the named extension experiment.
@@ -325,6 +329,8 @@ func ExtensionByID(id string, o Options) (*Figure, error) {
 		return ExtCube(o)
 	case "ext-cube3d":
 		return ExtCube3D(o)
+	case "ext-steady":
+		return ExtSteady(o)
 	default:
 		return nil, fmt.Errorf("core: unknown extension %q", id)
 	}

@@ -176,6 +176,11 @@ type Options struct {
 	// reports mean and standard deviation; 0 means 1 (single run, as in
 	// the paper).
 	Replications int
+	// Scheduler overrides the scheduling policy ("fcfs", "easy" or
+	// "sjf") in the extension experiments; empty means each
+	// experiment's own default (fcfs, as in the paper). The paper
+	// figures always run fcfs and ignore this field.
+	Scheduler string
 }
 
 func (o Options) withDefaults() Options {

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestExtSteadyStructure(t *testing.T) {
+	fig, err := ExtSteady(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fig.ID != "ext-steady" {
+		t.Fatalf("id %q", fig.ID)
+	}
+	tab := fig.Tables[0]
+	if len(tab.Rows) != 4*3 {
+		t.Fatalf("%d rows, want 4 allocators x 3 loads", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		mean, err := strconv.ParseFloat(row[2], 64)
+		if err != nil || mean <= 0 {
+			t.Fatalf("bad steady mean cell %q", row[2])
+		}
+		util, err := strconv.ParseFloat(row[4], 64)
+		if err != nil || util <= 0 || util > 100 {
+			t.Fatalf("bad utilization cell %q", row[4])
+		}
+	}
+	streaming := false
+	for _, n := range fig.Notes {
+		if strings.Contains(n, "streaming aggregation") {
+			streaming = true
+		}
+	}
+	if !streaming {
+		t.Fatal("missing streaming-aggregation note")
+	}
+}
+
+// TestExtSteadySchedulerOption pins the Options.Scheduler plumbing: an
+// unknown policy must surface as an error from the extension runs.
+func TestExtSteadySchedulerOption(t *testing.T) {
+	o := quickOpt()
+	o.Scheduler = "bogus"
+	if _, err := ExtSteady(o); err == nil {
+		t.Fatal("bogus scheduler should fail")
+	}
+	o.Scheduler = "sjf"
+	if _, err := ExtSteady(o); err != nil {
+		t.Fatalf("sjf: %v", err)
+	}
+}

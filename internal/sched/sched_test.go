@@ -116,6 +116,180 @@ func TestEASYUnsatisfiableReservation(t *testing.T) {
 	}
 }
 
+// TestSJFTieBreaking pins the tie rule: among fitting jobs with equal
+// runtime estimates, the earliest-arrived (lowest index) wins, so SJF
+// stays deterministic and starvation-ordered within a runtime class.
+func TestSJFTieBreaking(t *testing.T) {
+	p := SJF{}
+	cases := []struct {
+		name    string
+		pending []Pending
+		free    int
+		want    int
+	}{
+		{
+			name: "equal estimates pick earliest",
+			pending: []Pending{
+				{Size: 4, EstRuntime: 10},
+				{Size: 4, EstRuntime: 10},
+				{Size: 4, EstRuntime: 10},
+			},
+			free: 8, want: 0,
+		},
+		{
+			name: "tie among later jobs when the first does not fit",
+			pending: []Pending{
+				{Size: 9, EstRuntime: 10},
+				{Size: 4, EstRuntime: 10},
+				{Size: 4, EstRuntime: 10},
+			},
+			free: 8, want: 1,
+		},
+		{
+			name: "strictly shorter job beats an earlier equal-size one",
+			pending: []Pending{
+				{Size: 4, EstRuntime: 10},
+				{Size: 4, EstRuntime: 9.999},
+			},
+			free: 8, want: 1,
+		},
+		{
+			name: "zero-estimate jobs tie like any other value",
+			pending: []Pending{
+				{Size: 4, EstRuntime: 0},
+				{Size: 4, EstRuntime: 0},
+			},
+			free: 8, want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Pick(tc.pending, 0, tc.free, nil); got != tc.want {
+				t.Fatalf("Pick = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEASYShadowTimeEdges pins the boundary cases of the backfilling
+// rule — a candidate finishing exactly at the reservation, zero
+// runtime estimates, and a candidate exactly the size of the extra
+// processors freed at the shadow time.
+func TestEASYShadowTimeEdges(t *testing.T) {
+	p := EASY{}
+	cases := []struct {
+		name    string
+		pending []Pending
+		running []Running
+		now     float64
+		free    int
+		want    int
+	}{
+		{
+			// Reservation at t=100; now=10. A candidate with
+			// EstRuntime=90 ends exactly at the shadow: <= admits it.
+			name: "exact-fit backfill at the shadow boundary",
+			pending: []Pending{
+				{Size: 8, EstRuntime: 50},
+				{Size: 4, EstRuntime: 90},
+			},
+			running: []Running{{Size: 4, EstEnd: 100}},
+			now:     10, free: 4, want: 1,
+		},
+		{
+			// One tick past the shadow (and bigger than extra): refused.
+			name: "just past the shadow is refused",
+			pending: []Pending{
+				{Size: 8, EstRuntime: 50},
+				{Size: 4, EstRuntime: 90.001},
+			},
+			running: []Running{{Size: 4, EstEnd: 100}},
+			now:     10, free: 4, want: -1,
+		},
+		{
+			// A zero-estimate job finishes "immediately": always
+			// before the reservation, so it backfills whenever it fits.
+			name: "zero-estimate job backfills",
+			pending: []Pending{
+				{Size: 8, EstRuntime: 50},
+				{Size: 4, EstRuntime: 0},
+			},
+			running: []Running{{Size: 4, EstEnd: 100}},
+			now:     10, free: 4, want: 1,
+		},
+		{
+			// 5 free now + 6 released at t=100 leaves 11 for the 8-proc
+			// head: extra = 3. An arbitrarily long candidate of exactly
+			// 3 procs slots into the extra capacity.
+			name: "candidate exactly equal to the extra processors",
+			pending: []Pending{
+				{Size: 8, EstRuntime: 50},
+				{Size: 3, EstRuntime: 1e12},
+			},
+			running: []Running{{Size: 6, EstEnd: 100}},
+			now:     10, free: 5, want: 1,
+		},
+		{
+			// Same shadow but one processor over the extra: a size-4
+			// candidate fits the 5 free now, yet would eat into the
+			// head's reservation, so it is refused.
+			name: "candidate one over the extra is refused",
+			pending: []Pending{
+				{Size: 8, EstRuntime: 50},
+				{Size: 4, EstRuntime: 1e12},
+			},
+			running: []Running{{Size: 6, EstEnd: 100}},
+			now:     10, free: 5, want: -1,
+		},
+		{
+			// A backfill candidate the same size as the head cannot
+			// start now (head does not fit by definition of the branch)
+			// unless it finishes by the shadow.
+			name: "candidate equal to the head size within shadow",
+			pending: []Pending{
+				{Size: 8, EstRuntime: 50},
+				{Size: 8, EstRuntime: 90},
+			},
+			running: []Running{{Size: 8, EstEnd: 100}},
+			now:     10, free: 0, want: -1, // does not fit in 0 free
+		},
+		{
+			// Head itself fits: backfilling logic never engages.
+			name: "head starts before any backfill consideration",
+			pending: []Pending{
+				{Size: 4, EstRuntime: 50},
+				{Size: 2, EstRuntime: 1},
+			},
+			running: []Running{{Size: 4, EstEnd: 100}},
+			now:     10, free: 4, want: 0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.Pick(tc.pending, tc.now, tc.free, tc.running); got != tc.want {
+				t.Fatalf("Pick = %d, want %d", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestEASYScansPastUnfitCandidates pins that backfilling keeps
+// scanning: an unfit or shadow-violating candidate does not stop a
+// later legitimate one.
+func TestEASYScansPastUnfitCandidates(t *testing.T) {
+	p := EASY{}
+	pending := []Pending{
+		{Size: 8, EstRuntime: 50},  // blocked head
+		{Size: 6, EstRuntime: 1e9}, // too big for free procs
+		{Size: 4, EstRuntime: 1e9}, // fits but would delay the head
+		{Size: 2, EstRuntime: 10},  // legitimate backfill
+	}
+	running := []Running{{Size: 4, EstEnd: 100}}
+	if got := p.Pick(pending, 10, 4, running); got != 3 {
+		t.Fatalf("Pick = %d, want 3", got)
+	}
+}
+
 func TestShadowTimeOrdering(t *testing.T) {
 	// Releases accumulate in end order: 2 at t=10, 3 at t=20, 5 at t=30.
 	running := []Running{

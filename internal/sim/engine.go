@@ -1,0 +1,585 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"meshalloc/internal/alloc"
+	"meshalloc/internal/comm"
+	"meshalloc/internal/netsim"
+	"meshalloc/internal/sched"
+	"meshalloc/internal/stats"
+	"meshalloc/internal/topo"
+	"meshalloc/internal/trace"
+)
+
+// Observer receives each finished job's record the moment it completes,
+// before the retention policy applies: observers see every record even
+// when Config.KeepRecords is Discard, which is how results stream out
+// of a constant-memory run.
+type Observer func(JobRecord)
+
+// event is a heap entry.
+type event struct {
+	t    float64
+	seq  int64 // FIFO tie-break for determinism
+	kind int   // kindArrival, kindStep or kindFinish
+	job  *runningJob
+	arr  trace.Job // arrival: the (already scaled) job
+}
+
+const (
+	kindArrival = iota
+	kindStep
+	kindFinish
+)
+
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	sort.Ints(out)
+	return out
+}
+
+// eventHeap is a hand-rolled binary min-heap of events ordered by (t,
+// seq). container/heap would box every pushed and popped event into an
+// interface — one garbage allocation per simulated event, right on the
+// hottest loop of the simulator — so the sift operations are written out
+// against the concrete slice instead.
+type eventHeap []event
+
+func (h eventHeap) less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the job pointer so the pool can recycle it
+	*h = s[:n]
+	s = s[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && s.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && s.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		s[i], s[smallest] = s[smallest], s[i]
+		i = smallest
+	}
+	return top
+}
+
+type runningJob struct {
+	job      trace.Job
+	nodes    []int
+	gen      comm.Generator
+	quota    int64
+	sent     int64
+	start    float64
+	lastArr  float64 // latest delivery so far
+	hops     int64
+	queued   float64
+	pending  comm.Msg // first message of the next phase (phased mode)
+	havePend bool
+	estEnd   float64 // nominal end for backfilling estimates
+}
+
+// Engine is the resumable discrete-event core of the simulator. Where
+// the batch Run builds the world, replays one trace to completion and
+// returns every record in memory, an Engine exposes the lifecycle
+// directly: construct with NewEngine, inject jobs at any time with
+// Submit (online submission — the clock may already be running),
+// advance with Step, RunUntil or Drain, stream per-job records through
+// Observe, and read streaming aggregates with Result at any point.
+//
+// With Config.KeepRecords/KeepNodes set to Discard, the engine holds
+// O(machine + in-flight jobs) memory regardless of how many jobs pass
+// through — the shape a million-job open-system run needs.
+//
+// The engine clock runs in scaled simulation time (original seconds
+// compressed by Config.Load on arrivals and Config.TimeScale overall);
+// records re-inflate to original seconds exactly as in Run.
+type Engine struct {
+	cfg       Config
+	grid      *topo.Grid
+	allocator alloc.Allocator
+	pattern   comm.Pattern
+	policy    sched.Policy
+	isFCFS    bool
+	net       *netsim.Network
+	rng       *stats.RNG
+
+	events eventHeap
+	seq    int64
+	now    float64
+	queue  []trace.Job // FCFS arrival order, already scaled
+	runSet map[*runningJob]bool
+	rjPool []*runningJob // recycled runningJob structs
+
+	// pendBuf and runBuf are persistent scratch for the non-FCFS policy
+	// path, refilled per trySchedule round.
+	pendBuf []sched.Pending
+	runBuf  []sched.Running
+
+	observers []Observer
+	records   []JobRecord
+
+	// Streaming aggregates, updated at every finish so Result never
+	// needs the retained records.
+	finished   int
+	respSum    float64
+	respMedian *stats.P2Quantile
+	totalComps int
+	contig     int
+	makespan   float64
+
+	// Time-weighted occupancy accounting.
+	busyProcs   int
+	lastAccount float64
+	busyArea    float64 // processor-seconds held by jobs
+	queueArea   float64 // job-seconds spent queued
+
+	// held buffers a job RunSource pulled from its source but could not
+	// submit because it arrives past the horizon; a later RunSource call
+	// with a larger horizon resumes with it instead of losing it.
+	held    trace.Job
+	hasHeld bool
+}
+
+// NewEngine validates cfg and builds an idle engine with an empty queue
+// and the clock at zero.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	dims := cfg.dims()
+	if len(dims) < 1 || len(dims) > topo.MaxDims {
+		return nil, fmt.Errorf("sim: machine needs 1..%d dimensions, got %d", topo.MaxDims, len(dims))
+	}
+	for i, d := range dims {
+		if d <= 0 {
+			return nil, fmt.Errorf("sim: invalid machine extent %d on axis %d", d, i)
+		}
+	}
+	var m *topo.Grid
+	if cfg.Torus {
+		m = topo.NewTorus(dims)
+	} else {
+		m = topo.New(dims)
+	}
+	allocator, err := alloc.Spec(m, cfg.Alloc, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pattern, err := comm.ByName(cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	// Same-size jobs share one immutable phase schedule for the run.
+	pattern = comm.Cached(pattern)
+	policy, err := sched.ByName(cfg.Scheduler)
+	if err != nil {
+		return nil, err
+	}
+	_, isFCFS := policy.(sched.FCFS)
+	return &Engine{
+		cfg:        cfg,
+		grid:       m,
+		allocator:  allocator,
+		pattern:    pattern,
+		policy:     policy,
+		isFCFS:     isFCFS,
+		net:        netsim.New(m, cfg.Net),
+		rng:        stats.NewRNG(cfg.Seed),
+		runSet:     map[*runningJob]bool{},
+		respMedian: stats.NewP2Quantile(0.5),
+	}, nil
+}
+
+// Observe registers fn to be called with every finished job's record,
+// in finish order. Observers registered later are called later.
+func (e *Engine) Observe(fn Observer) {
+	e.observers = append(e.observers, fn)
+}
+
+// MachineSize returns the number of processors in the machine.
+func (e *Engine) MachineSize() int { return e.grid.Size() }
+
+// NumFree returns the number of currently unallocated processors.
+func (e *Engine) NumFree() int { return e.allocator.NumFree() }
+
+// Now returns the engine clock in scaled simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of jobs queued but not yet started.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// RunningJobs returns the number of jobs currently holding processors.
+func (e *Engine) RunningJobs() int { return len(e.runSet) }
+
+// Finished returns the number of jobs that have completed.
+func (e *Engine) Finished() int { return e.finished }
+
+// Submit injects a job given in original (unscaled) trace units: the
+// engine applies Load to its arrival and TimeScale to both arrival and
+// runtime, exactly as Run scales a whole trace. Jobs may be submitted
+// while the clock runs; an arrival already in the past is clamped to
+// the current clock. Oversized jobs are rejected.
+func (e *Engine) Submit(j trace.Job) error {
+	if j.Size > e.grid.Size() {
+		return fmt.Errorf("sim: job %d needs %d processors, machine has %d (filter the trace first)",
+			j.ID, j.Size, e.grid.Size())
+	}
+	if j.Size <= 0 {
+		return fmt.Errorf("sim: job %d has invalid size %d", j.ID, j.Size)
+	}
+	// Mirror Trace.ScaleLoad followed by Trace.ScaleTime operation for
+	// operation so batch outputs stay bit-identical.
+	j.Arrival *= e.cfg.Load
+	j.Arrival *= e.cfg.TimeScale
+	j.Runtime *= e.cfg.TimeScale
+	if j.Arrival < e.now {
+		j.Arrival = e.now
+	}
+	e.push(event{t: j.Arrival, kind: kindArrival, arr: j})
+	return nil
+}
+
+// Step processes the single earliest event and returns true, or returns
+// false when no events remain.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := e.events.pop()
+	e.account(ev.t)
+	if ev.t > e.now {
+		e.now = ev.t
+	}
+	switch ev.kind {
+	case kindArrival:
+		e.queue = append(e.queue, ev.arr)
+		e.trySchedule(ev.t)
+	case kindStep:
+		e.step(ev.job, ev.t)
+	case kindFinish:
+		e.finish(ev.job, ev.t)
+	}
+	return true
+}
+
+// RunUntil processes every event with time <= t (scaled simulation
+// time) and advances the clock and occupancy accounting to t.
+func (e *Engine) RunUntil(t float64) {
+	for len(e.events) > 0 && e.events[0].t <= t {
+		e.Step()
+	}
+	e.account(t)
+	if t > e.now {
+		e.now = t
+	}
+}
+
+// Drain processes events until none remain.
+func (e *Engine) Drain() {
+	for e.Step() {
+	}
+}
+
+// Deadlocked reports whether the engine has no events left but jobs
+// still queued or running — the state batch Run reports as an error
+// (a contiguous allocator can strand the queue head forever).
+func (e *Engine) Deadlocked() bool {
+	return len(e.events) == 0 && (len(e.queue) > 0 || len(e.runSet) > 0)
+}
+
+// RunSource pumps src into the engine lazily: each job is submitted
+// only when the clock reaches its arrival, so the event heap stays
+// bounded by the in-flight work rather than the stream length. With
+// horizon 0 the stream runs until the source is exhausted and the
+// remaining events drain. horizon > 0 stops at the first job arriving
+// after horizon (original trace seconds) and advances the clock
+// exactly to the horizon, leaving in-flight work pending — so resumed
+// calls with growing horizons replay the identical event sequence a
+// single continuous run would, and the past-horizon job is held, not
+// lost: the next RunSource call submits it before pulling from its
+// source again. Call Drain to let a horizon-stopped run finish its
+// in-flight jobs.
+func (e *Engine) RunSource(src trace.Source, horizon float64) error {
+	for {
+		var j trace.Job
+		if e.hasHeld {
+			j = e.held
+		} else {
+			var ok bool
+			j, ok = src.Next()
+			if !ok {
+				break
+			}
+		}
+		if horizon > 0 && j.Arrival > horizon {
+			e.held, e.hasHeld = j, true
+			e.RunUntil(horizon * e.cfg.Load * e.cfg.TimeScale)
+			return nil
+		}
+		e.hasHeld = false
+		e.RunUntil(j.Arrival * e.cfg.Load * e.cfg.TimeScale)
+		if err := e.Submit(j); err != nil {
+			return err
+		}
+	}
+	e.Drain()
+	if e.Deadlocked() {
+		return fmt.Errorf("sim: deadlock with %d queued and %d running jobs",
+			len(e.queue), len(e.runSet))
+	}
+	return nil
+}
+
+// Result snapshots the run's aggregate outcome. With KeepRecords left
+// at Keep it matches batch Run field for field; with Discard, Records
+// is nil, MedianResponse is the P² streaming estimate, and everything
+// else is exact.
+func (e *Engine) Result() *Result {
+	res := &Result{
+		Config:          e.cfg,
+		Records:         e.records,
+		Jobs:            e.finished,
+		Net:             e.net.Stats(),
+		NodeUtilization: e.net.NodeUtilization(),
+		Makespan:        e.makespan,
+	}
+	if e.finished > 0 {
+		res.MeanResponse = e.respSum / float64(e.finished)
+		res.PctContiguous = 100 * float64(e.contig) / float64(e.finished)
+		res.AvgComponents = float64(e.totalComps) / float64(e.finished)
+	}
+	if e.cfg.KeepRecords == Keep {
+		responses := make([]float64, 0, len(e.records))
+		for i := range e.records {
+			responses = append(responses, e.records[i].Response)
+		}
+		res.MedianResponse = stats.Percentile(responses, 50)
+	} else {
+		res.MedianResponse = e.respMedian.Value()
+	}
+	if e.lastAccount > 0 {
+		res.UtilizationPct = 100 * e.busyArea / (e.lastAccount * float64(e.grid.Size()))
+		res.MeanQueueLen = e.queueArea / e.lastAccount
+	}
+	return res
+}
+
+// account integrates the time-weighted occupancy up to now.
+func (e *Engine) account(now float64) {
+	if now > e.lastAccount {
+		e.busyArea += float64(e.busyProcs) * (now - e.lastAccount)
+		e.queueArea += float64(len(e.queue)) * (now - e.lastAccount)
+		e.lastAccount = now
+	}
+}
+
+func (e *Engine) push(ev event) {
+	ev.seq = e.seq
+	e.seq++
+	e.events.push(ev)
+}
+
+func (e *Engine) quotaOf(j trace.Job) int64 {
+	q := int64(math.Round(j.Runtime * e.cfg.MsgsPerSecond))
+	if q < 1 {
+		q = 1
+	}
+	return q
+}
+
+// trySchedule starts every job the policy allows at time now.
+func (e *Engine) trySchedule(now float64) {
+	for {
+		var pick int
+		if e.isFCFS {
+			// Fast path: strict FCFS only ever inspects the head.
+			pick = -1
+			if len(e.queue) > 0 && e.queue[0].Size <= e.allocator.NumFree() {
+				pick = 0
+			}
+		} else {
+			e.pendBuf = e.pendBuf[:0]
+			for _, j := range e.queue {
+				e.pendBuf = append(e.pendBuf, sched.Pending{Size: j.Size, EstRuntime: j.Runtime})
+			}
+			e.runBuf = e.runBuf[:0]
+			for rj := range e.runSet {
+				e.runBuf = append(e.runBuf, sched.Running{Size: rj.job.Size, EstEnd: rj.estEnd})
+			}
+			pick = e.policy.Pick(e.pendBuf, now, e.allocator.NumFree(), e.runBuf)
+		}
+		if pick < 0 {
+			return
+		}
+		job := e.queue[pick]
+		nodes, err := e.allocator.Allocate(alloc.Request{Size: job.Size})
+		if err == alloc.ErrInsufficient {
+			// Contiguous allocators (submesh, buddy) can refuse on
+			// external fragmentation even when enough processors
+			// are free; the job stays queued until a release.
+			return
+		}
+		if err != nil {
+			// Any other refusal is a bookkeeping bug.
+			panic(fmt.Sprintf("sim: allocator %s refused %d procs with %d free: %v",
+				e.allocator.Name(), job.Size, e.allocator.NumFree(), err))
+		}
+		e.queue = append(e.queue[:pick], e.queue[pick+1:]...)
+		var rj *runningJob
+		if n := len(e.rjPool); n > 0 {
+			rj, e.rjPool = e.rjPool[n-1], e.rjPool[:n-1]
+		} else {
+			rj = new(runningJob)
+		}
+		*rj = runningJob{
+			job:     job,
+			nodes:   nodes,
+			gen:     e.pattern.Generator(job.Size, e.rng),
+			quota:   e.quotaOf(job),
+			start:   now,
+			lastArr: now,
+			estEnd:  now + job.Runtime,
+		}
+		e.runSet[rj] = true
+		e.busyProcs += job.Size
+		e.push(event{t: now, kind: kindStep, job: rj})
+	}
+}
+
+// finish runs as its own event at the time the job's last message
+// arrived, so processors are not released before that moment.
+func (e *Engine) finish(rj *runningJob, now float64) {
+	delete(e.runSet, rj)
+	e.allocator.Release(rj.nodes)
+	e.busyProcs -= rj.job.Size
+	end := rj.lastArr
+	if end < now {
+		end = now
+	}
+	inv := 1 / e.cfg.TimeScale
+	comps := e.grid.Components(rj.nodes)
+	rec := JobRecord{
+		ID:          rj.job.ID,
+		Size:        rj.job.Size,
+		Quota:       rj.quota,
+		Arrival:     rj.job.Arrival * inv,
+		Start:       rj.start * inv,
+		Finish:      end * inv,
+		Response:    (end - rj.job.Arrival) * inv,
+		RunTime:     (end - rj.start) * inv,
+		Wait:        (rj.start - rj.job.Arrival) * inv,
+		AvgPairwise: e.grid.AvgPairwiseDist(rj.nodes),
+		QueuedSec:   rj.queued * inv,
+		Components:  len(comps),
+		Contiguous:  len(comps) == 1,
+	}
+	if e.cfg.KeepNodes == Keep {
+		rec.Nodes = sortedCopy(rj.nodes)
+	}
+	if rj.sent > 0 {
+		rec.AvgMsgDist = float64(rj.hops) / float64(rj.sent)
+	}
+
+	// Streaming aggregates and observers see every record; the records
+	// slice only grows under the Keep policy.
+	e.finished++
+	e.respSum += rec.Response
+	e.respMedian.Add(rec.Response)
+	e.totalComps += rec.Components
+	if rec.Contiguous {
+		e.contig++
+	}
+	if rec.Finish > e.makespan {
+		e.makespan = rec.Finish
+	}
+	for _, fn := range e.observers {
+		fn(rec)
+	}
+	if e.cfg.KeepRecords == Keep {
+		e.records = append(e.records, rec)
+	}
+
+	// The finish event was the job's last reference; recycle the
+	// struct for a later arrival.
+	*rj = runningJob{}
+	e.rjPool = append(e.rjPool, rj)
+	e.trySchedule(end)
+}
+
+// step issues the next burst of messages for rj at time now and
+// schedules the follow-up event.
+func (e *Engine) step(rj *runningJob, now float64) {
+	burst := int64(1)
+	if e.cfg.Issue == IssuePhased {
+		burst = math.MaxInt64 // until phase boundary
+	}
+	if e.cfg.MaxPhase > 0 && burst > int64(e.cfg.MaxPhase) {
+		burst = int64(e.cfg.MaxPhase)
+	}
+	maxArr := now
+	var issued int64
+	for issued < burst && rj.sent < rj.quota {
+		var msg comm.Msg
+		if rj.havePend {
+			msg, rj.havePend = rj.pending, false
+		} else {
+			var newPhase bool
+			msg, newPhase = rj.gen.Next()
+			if newPhase && issued > 0 {
+				// The phase ended; save the message for the next burst.
+				rj.pending, rj.havePend = msg, true
+				break
+			}
+		}
+		r := e.net.Send(rj.nodes[msg.Src], rj.nodes[msg.Dst], now)
+		rj.sent++
+		rj.hops += int64(r.Hops)
+		rj.queued += r.Queued
+		if r.Arrival > maxArr {
+			maxArr = r.Arrival
+		}
+		issued++
+	}
+	if maxArr > rj.lastArr {
+		rj.lastArr = maxArr
+	}
+	if rj.sent >= rj.quota {
+		e.push(event{t: maxArr, kind: kindFinish, job: rj})
+		return
+	}
+	// Barrier: the next subphase starts when this burst has arrived.
+	e.push(event{t: maxArr, kind: kindStep, job: rj})
+}

@@ -12,19 +12,20 @@
 // been delivered, so a job's lifetime — and through queueing, every later
 // job's response time — is determined by network contention, which is
 // what the allocation algorithms fight over.
+//
+// The package has two entry points built on one core. Run replays a
+// whole trace as a closed system and returns every record, exactly the
+// paper's setup. Engine exposes the lifecycle underneath — online
+// Submit while the clock runs, Step/RunUntil/Drain, streaming Observer
+// callbacks, Result at any time — and, with the Discard retention
+// policies, holds constant memory over unbounded open-system workloads
+// fed from a trace.Source.
 package sim
 
 import (
 	"fmt"
-	"math"
-	"sort"
 
-	"meshalloc/internal/alloc"
-	"meshalloc/internal/comm"
 	"meshalloc/internal/netsim"
-	"meshalloc/internal/sched"
-	"meshalloc/internal/stats"
-	"meshalloc/internal/topo"
 	"meshalloc/internal/trace"
 )
 
@@ -47,6 +48,26 @@ func (m IssueMode) String() string {
 		return "sequential"
 	}
 	return "phased"
+}
+
+// KeepPolicy selects whether per-job data is retained in memory or only
+// streamed to observers.
+type KeepPolicy int
+
+const (
+	// Keep retains the data (default; what the batch experiments expect).
+	Keep KeepPolicy = iota
+	// Discard drops the data once observers have seen it, so unbounded
+	// open-system runs hold O(1) memory.
+	Discard
+)
+
+// String implements fmt.Stringer.
+func (p KeepPolicy) String() string {
+	if p == Discard {
+		return "discard"
+	}
+	return "keep"
 }
 
 // Config describes one simulation run.
@@ -78,7 +99,8 @@ type Config struct {
 	Seed int64
 	// Net is the network timing; zero value means netsim.DefaultConfig.
 	Net netsim.Config
-	// Scheduler is "fcfs" (default, as in the paper) or "easy".
+	// Scheduler is "fcfs" (default, as in the paper), "easy" or "sjf";
+	// see sched.ByName.
 	Scheduler string
 	// Issue selects phased (default) or sequential message injection.
 	Issue IssueMode
@@ -87,6 +109,15 @@ type Config struct {
 	// MaxPhase caps messages issued per event to bound event sizes for
 	// enormous all-to-all phases; 0 means no cap.
 	MaxPhase int
+	// KeepRecords selects whether Result.Records accumulates every
+	// per-job record (Keep, default) or records only stream to
+	// observers (Discard). Discard bounds memory for million-job runs;
+	// MedianResponse then comes from the P² streaming estimator.
+	KeepRecords KeepPolicy
+	// KeepNodes selects whether each JobRecord retains its Nodes slice
+	// (Keep, default). Discard skips the per-job copy; dispersal
+	// metrics (AvgPairwise, Components) are computed either way.
+	KeepNodes KeepPolicy
 }
 
 // withDefaults fills zero fields with the paper-experiment defaults.
@@ -142,17 +173,25 @@ type JobRecord struct {
 	Components int
 	Contiguous bool
 	// Nodes is the allocation itself (sorted processor ids), retained so
-	// consumers can compute further dispersal metrics post hoc.
+	// consumers can compute further dispersal metrics post hoc. Nil
+	// when Config.KeepNodes is Discard.
 	Nodes []int
 }
 
 // Result is the outcome of one run.
 type Result struct {
-	Config  Config
+	Config Config
+	// Records holds every per-job record in finish order, or nil when
+	// Config.KeepRecords is Discard (records then only stream through
+	// Engine.Observe).
 	Records []JobRecord
+	// Jobs is the number of jobs that completed, whether or not their
+	// records were retained.
+	Jobs int
 	// MeanResponse is the mean job response time in original seconds.
 	MeanResponse float64
-	// MedianResponse is the 50th percentile response time.
+	// MedianResponse is the 50th percentile response time: exact over
+	// retained records, the P² streaming estimate under Discard.
 	MedianResponse float64
 	// PctContiguous is the percentage of jobs allocated contiguously.
 	PctContiguous float64
@@ -173,372 +212,31 @@ type Result struct {
 	MeanQueueLen float64
 }
 
-// event is a heap entry.
-type event struct {
-	t    float64
-	seq  int64 // FIFO tie-break for determinism
-	kind int   // kindArrival, kindStep or kindFinish
-	job  *runningJob
-	idx  int // arrival: trace index
-}
-
-const (
-	kindArrival = iota
-	kindStep
-	kindFinish
-)
-
-func sortedCopy(ids []int) []int {
-	out := append([]int(nil), ids...)
-	sort.Ints(out)
-	return out
-}
-
-// eventHeap is a hand-rolled binary min-heap of events ordered by (t,
-// seq). container/heap would box every pushed and popped event into an
-// interface — one garbage allocation per simulated event, right on the
-// hottest loop of the simulator — so the sift operations are written out
-// against the concrete slice instead.
-type eventHeap []event
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap) push(e event) {
-	*h = append(*h, e)
-	s := *h
-	// Sift up.
-	i := len(s) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !s.less(i, parent) {
-			break
-		}
-		s[i], s[parent] = s[parent], s[i]
-		i = parent
-	}
-}
-
-func (h *eventHeap) pop() event {
-	s := *h
-	top := s[0]
-	n := len(s) - 1
-	s[0] = s[n]
-	s[n] = event{} // drop the job pointer so the pool can recycle it
-	*h = s[:n]
-	s = s[:n]
-	// Sift down.
-	i := 0
-	for {
-		l, r := 2*i+1, 2*i+2
-		smallest := i
-		if l < n && s.less(l, smallest) {
-			smallest = l
-		}
-		if r < n && s.less(r, smallest) {
-			smallest = r
-		}
-		if smallest == i {
-			break
-		}
-		s[i], s[smallest] = s[smallest], s[i]
-		i = smallest
-	}
-	return top
-}
-
-type runningJob struct {
-	job      trace.Job
-	nodes    []int
-	gen      comm.Generator
-	quota    int64
-	sent     int64
-	start    float64
-	lastArr  float64 // latest delivery so far
-	hops     int64
-	queued   float64
-	pending  comm.Msg // first message of the next phase (phased mode)
-	havePend bool
-	estEnd   float64 // nominal end for backfilling estimates
-}
-
 // Run simulates the trace under cfg and returns the per-job records. The
 // trace is taken in original time units; Run applies Load and TimeScale
 // itself. Jobs larger than the mesh are rejected with an error.
+//
+// Run is a thin closed-system wrapper over Engine: every job is
+// submitted up front, the event heap drains to completion, and the
+// resulting records and aggregates are bit-identical to the historical
+// monolithic implementation (pinned by the golden digests in
+// golden_equiv_test.go).
 func Run(cfg Config, tr *trace.Trace) (*Result, error) {
-	cfg = cfg.withDefaults()
-	dims := cfg.dims()
-	if len(dims) < 1 || len(dims) > topo.MaxDims {
-		return nil, fmt.Errorf("sim: machine needs 1..%d dimensions, got %d", topo.MaxDims, len(dims))
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
 	}
-	for i, d := range dims {
-		if d <= 0 {
-			return nil, fmt.Errorf("sim: invalid machine extent %d on axis %d", d, i)
-		}
-	}
-	var m *topo.Grid
-	if cfg.Torus {
-		m = topo.NewTorus(dims)
-	} else {
-		m = topo.New(dims)
-	}
+	// Submit validates each job (oversized jobs error out here, before
+	// any event is processed — the whole run is rejected, as always).
 	for _, j := range tr.Jobs {
-		if j.Size > m.Size() {
-			return nil, fmt.Errorf("sim: job %d needs %d processors, machine has %d (filter the trace first)",
-				j.ID, j.Size, m.Size())
+		if err := e.Submit(j); err != nil {
+			return nil, err
 		}
 	}
-	allocator, err := alloc.Spec(m, cfg.Alloc, cfg.Seed)
-	if err != nil {
-		return nil, err
+	e.Drain()
+	if e.Deadlocked() {
+		return nil, fmt.Errorf("sim: deadlock with %d queued and %d running jobs",
+			e.Pending(), e.RunningJobs())
 	}
-	pattern, err := comm.ByName(cfg.Pattern)
-	if err != nil {
-		return nil, err
-	}
-	// Same-size jobs share one immutable phase schedule for the run.
-	pattern = comm.Cached(pattern)
-	policy, err := sched.ByName(cfg.Scheduler)
-	if err != nil {
-		return nil, err
-	}
-	net := netsim.New(m, cfg.Net)
-	rng := stats.NewRNG(cfg.Seed)
-
-	scaled := tr.ScaleLoad(cfg.Load).ScaleTime(cfg.TimeScale)
-
-	var (
-		events  = make(eventHeap, 0, len(scaled.Jobs)+64)
-		seq     int64
-		queue   = make([]trace.Job, 0, len(scaled.Jobs)) // FCFS arrival order
-		running = map[*runningJob]bool{}
-		records = make([]JobRecord, 0, len(scaled.Jobs))
-		rjPool  []*runningJob // recycled runningJob structs
-
-		// Time-weighted occupancy accounting.
-		busyProcs   int
-		lastAccount float64
-		busyArea    float64 // processor-seconds held by jobs
-		queueArea   float64 // job-seconds spent queued
-	)
-	account := func(now float64) {
-		if now > lastAccount {
-			busyArea += float64(busyProcs) * (now - lastAccount)
-			queueArea += float64(len(queue)) * (now - lastAccount)
-			lastAccount = now
-		}
-	}
-	push := func(e event) {
-		e.seq = seq
-		seq++
-		events.push(e)
-	}
-	for i := range scaled.Jobs {
-		push(event{t: scaled.Jobs[i].Arrival, kind: kindArrival, idx: i})
-	}
-
-	quotaOf := func(j trace.Job) int64 {
-		q := int64(math.Round(j.Runtime * cfg.MsgsPerSecond))
-		if q < 1 {
-			q = 1
-		}
-		return q
-	}
-
-	_, isFCFS := policy.(sched.FCFS)
-	// pendBuf and runBuf are persistent scratch for the non-FCFS policy
-	// path, refilled per trySchedule round.
-	var (
-		pendBuf []sched.Pending
-		runBuf  []sched.Running
-	)
-	// trySchedule starts every job the policy allows at time now.
-	trySchedule := func(now float64) {
-		for {
-			var pick int
-			if isFCFS {
-				// Fast path: strict FCFS only ever inspects the head.
-				pick = -1
-				if len(queue) > 0 && queue[0].Size <= allocator.NumFree() {
-					pick = 0
-				}
-			} else {
-				pendBuf = pendBuf[:0]
-				for _, j := range queue {
-					pendBuf = append(pendBuf, sched.Pending{Size: j.Size, EstRuntime: j.Runtime})
-				}
-				runBuf = runBuf[:0]
-				for rj := range running {
-					runBuf = append(runBuf, sched.Running{Size: rj.job.Size, EstEnd: rj.estEnd})
-				}
-				pick = policy.Pick(pendBuf, now, allocator.NumFree(), runBuf)
-			}
-			if pick < 0 {
-				return
-			}
-			job := queue[pick]
-			nodes, err := allocator.Allocate(alloc.Request{Size: job.Size})
-			if err == alloc.ErrInsufficient {
-				// Contiguous allocators (submesh, buddy) can refuse on
-				// external fragmentation even when enough processors
-				// are free; the job stays queued until a release.
-				return
-			}
-			if err != nil {
-				// Any other refusal is a bookkeeping bug.
-				panic(fmt.Sprintf("sim: allocator %s refused %d procs with %d free: %v",
-					allocator.Name(), job.Size, allocator.NumFree(), err))
-			}
-			queue = append(queue[:pick], queue[pick+1:]...)
-			var rj *runningJob
-			if n := len(rjPool); n > 0 {
-				rj, rjPool = rjPool[n-1], rjPool[:n-1]
-			} else {
-				rj = new(runningJob)
-			}
-			*rj = runningJob{
-				job:     job,
-				nodes:   nodes,
-				gen:     pattern.Generator(job.Size, rng),
-				quota:   quotaOf(job),
-				start:   now,
-				lastArr: now,
-				estEnd:  now + job.Runtime,
-			}
-			running[rj] = true
-			busyProcs += job.Size
-			push(event{t: now, kind: kindStep, job: rj})
-		}
-	}
-
-	// finish runs as its own event at the time the job's last message
-	// arrived, so processors are not released before that moment.
-	finish := func(rj *runningJob, now float64) {
-		delete(running, rj)
-		allocator.Release(rj.nodes)
-		busyProcs -= rj.job.Size
-		end := rj.lastArr
-		if end < now {
-			end = now
-		}
-		inv := 1 / cfg.TimeScale
-		comps := m.Components(rj.nodes)
-		rec := JobRecord{
-			ID:          rj.job.ID,
-			Size:        rj.job.Size,
-			Quota:       rj.quota,
-			Arrival:     rj.job.Arrival * inv,
-			Start:       rj.start * inv,
-			Finish:      end * inv,
-			Response:    (end - rj.job.Arrival) * inv,
-			RunTime:     (end - rj.start) * inv,
-			Wait:        (rj.start - rj.job.Arrival) * inv,
-			AvgPairwise: m.AvgPairwiseDist(rj.nodes),
-			QueuedSec:   rj.queued * inv,
-			Components:  len(comps),
-			Contiguous:  len(comps) == 1,
-			Nodes:       sortedCopy(rj.nodes),
-		}
-		if rj.sent > 0 {
-			rec.AvgMsgDist = float64(rj.hops) / float64(rj.sent)
-		}
-		records = append(records, rec)
-		// The finish event was the job's last reference; recycle the
-		// struct for a later arrival.
-		*rj = runningJob{}
-		rjPool = append(rjPool, rj)
-		trySchedule(end)
-	}
-
-	// step issues the next burst of messages for rj at time now and
-	// schedules the follow-up event.
-	step := func(rj *runningJob, now float64) {
-		burst := int64(1)
-		if cfg.Issue == IssuePhased {
-			burst = math.MaxInt64 // until phase boundary
-		}
-		if cfg.MaxPhase > 0 && burst > int64(cfg.MaxPhase) {
-			burst = int64(cfg.MaxPhase)
-		}
-		maxArr := now
-		var issued int64
-		for issued < burst && rj.sent < rj.quota {
-			var msg comm.Msg
-			if rj.havePend {
-				msg, rj.havePend = rj.pending, false
-			} else {
-				var newPhase bool
-				msg, newPhase = rj.gen.Next()
-				if newPhase && issued > 0 {
-					// The phase ended; save the message for the next burst.
-					rj.pending, rj.havePend = msg, true
-					break
-				}
-			}
-			r := net.Send(rj.nodes[msg.Src], rj.nodes[msg.Dst], now)
-			rj.sent++
-			rj.hops += int64(r.Hops)
-			rj.queued += r.Queued
-			if r.Arrival > maxArr {
-				maxArr = r.Arrival
-			}
-			issued++
-		}
-		if maxArr > rj.lastArr {
-			rj.lastArr = maxArr
-		}
-		if rj.sent >= rj.quota {
-			push(event{t: maxArr, kind: kindFinish, job: rj})
-			return
-		}
-		// Barrier: the next subphase starts when this burst has arrived.
-		push(event{t: maxArr, kind: kindStep, job: rj})
-	}
-
-	for len(events) > 0 {
-		e := events.pop()
-		account(e.t)
-		switch e.kind {
-		case kindArrival:
-			queue = append(queue, scaled.Jobs[e.idx])
-			trySchedule(e.t)
-		case kindStep:
-			step(e.job, e.t)
-		case kindFinish:
-			finish(e.job, e.t)
-		}
-	}
-	if len(queue) > 0 || len(running) > 0 {
-		return nil, fmt.Errorf("sim: deadlock with %d queued and %d running jobs", len(queue), len(running))
-	}
-
-	res := &Result{Config: cfg, Records: records, Net: net.Stats(), NodeUtilization: net.NodeUtilization()}
-	responses := make([]float64, 0, len(records))
-	totalComps := 0
-	contig := 0
-	for _, r := range records {
-		responses = append(responses, r.Response)
-		totalComps += r.Components
-		if r.Contiguous {
-			contig++
-		}
-		if r.Finish > res.Makespan {
-			res.Makespan = r.Finish
-		}
-	}
-	res.MeanResponse = stats.Mean(responses)
-	res.MedianResponse = stats.Percentile(responses, 50)
-	if len(records) > 0 {
-		res.PctContiguous = 100 * float64(contig) / float64(len(records))
-		res.AvgComponents = float64(totalComps) / float64(len(records))
-	}
-	if lastAccount > 0 {
-		res.UtilizationPct = 100 * busyArea / (lastAccount * float64(m.Size()))
-		res.MeanQueueLen = queueArea / lastAccount
-	}
-	return res, nil
+	return e.Result(), nil
 }

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Streaming (single-pass, O(1)-memory) aggregates for open-system
+// simulation: a Welford mean/variance accumulator and the P² quantile
+// estimator, so million-job engine runs need not retain per-job records
+// to report their summary statistics.
+
+// Welford accumulates mean and variance online with Welford's update,
+// numerically stable over arbitrarily long streams. The zero value is
+// ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of observations seen.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance, or 0 for fewer than
+// two observations, matching Variance on the retained series.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// P2Quantile estimates one quantile of a stream in O(1) memory with the
+// P² algorithm of Jain and Chlamtac (CACM 1985): five markers straddle
+// the target quantile and are nudged toward their desired rank
+// positions by piecewise-parabolic interpolation as observations
+// arrive. The first five observations are held exactly, so short
+// streams report exact order statistics.
+type P2Quantile struct {
+	p    float64
+	n    int
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions (1-based ranks)
+	des  [5]float64 // desired marker positions
+	inc  [5]float64 // per-observation desired-position increments
+	boot []float64  // first five observations, pre-initialization
+}
+
+// NewP2Quantile returns an estimator for the p-quantile, 0 < p < 1
+// (0.5 = median). It panics on an out-of-range p.
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2Quantile needs 0 < p < 1")
+	}
+	return &P2Quantile{
+		p:   p,
+		inc: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
+	}
+}
+
+// Add folds one observation into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	e.n++
+	if e.n <= 5 {
+		e.boot = append(e.boot, x)
+		if e.n == 5 {
+			sort.Float64s(e.boot)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.boot[i]
+				e.pos[i] = float64(i + 1)
+			}
+			p := e.p
+			e.des = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+		}
+		return
+	}
+
+	// Locate the cell k with q[k] <= x < q[k+1], extending the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.des[i] += e.inc[i]
+	}
+
+	// Nudge the three interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.des[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			qn := e.parabolic(i, s)
+			if !(e.q[i-1] < qn && qn < e.q[i+1]) {
+				qn = e.linear(i, s)
+			}
+			e.q[i] = qn
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for moving
+// marker i by d (±1).
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+d)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-d)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction when the parabola overshoots
+// a neighboring marker.
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// N returns the number of observations seen.
+func (e *P2Quantile) N() int { return e.n }
+
+// Value returns the current quantile estimate: exact for five or fewer
+// observations, the P² middle marker afterwards. It returns 0 before
+// any observation.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n <= 5 {
+		s := append([]float64(nil), e.boot...)
+		sort.Float64s(s)
+		return Percentile(s, e.p*100)
+	}
+	return e.q[2]
+}

@@ -1,0 +1,135 @@
+package trace
+
+import (
+	"fmt"
+
+	"meshalloc/internal/stats"
+)
+
+// Source is a pull-based job stream for open-system simulation: Next
+// yields jobs in nondecreasing arrival order until the stream is
+// exhausted. Unlike a Trace, a Source need not exist in memory all at
+// once — the engine pulls the next arrival only when the clock reaches
+// it, so an unbounded synthetic stream drives a constant-memory run.
+type Source interface {
+	// Next returns the next job and true, or a zero Job and false when
+	// the stream is exhausted.
+	Next() (Job, bool)
+}
+
+// traceSource replays a Trace's jobs in order.
+type traceSource struct {
+	jobs []Job
+	i    int
+}
+
+// Source returns a Source replaying the trace's jobs in arrival order.
+func (t *Trace) Source() Source {
+	return &traceSource{jobs: t.Jobs}
+}
+
+func (s *traceSource) Next() (Job, bool) {
+	if s.i >= len(s.jobs) {
+		return Job{}, false
+	}
+	j := s.jobs[s.i]
+	s.i++
+	return j, true
+}
+
+// Synthetic is an unbounded open-system arrival generator: interarrival
+// times from a Poisson or interrupted-Poisson (bursty on/off) process,
+// job sizes and runtimes from the SDSC-fitted distributions of NewSDSC.
+// Jobs are numbered from 0 in generation order.
+type Synthetic struct {
+	rng      *stats.RNG
+	sizes    *stats.DiscreteDist
+	runtimes stats.Lognormal
+	maxSize  int
+
+	meanInter float64
+	// Bursty (interrupted Poisson) state: arrivals occur only during ON
+	// periods; ON and OFF durations are exponential with means meanOn
+	// and meanOff. meanOn == 0 means plain Poisson (always on).
+	meanOn, meanOff float64
+	onLeft          float64
+
+	now  float64
+	next int
+}
+
+// NewPoisson returns an open-system source with Poisson arrivals at the
+// given mean interarrival time (seconds), sizes capped at maxSize. It
+// panics on a non-positive mean interarrival.
+func NewPoisson(meanInterarrival float64, maxSize int, seed int64) *Synthetic {
+	if meanInterarrival <= 0 {
+		panic(fmt.Sprintf("trace: invalid mean interarrival %g", meanInterarrival))
+	}
+	return &Synthetic{
+		rng:       stats.NewRNG(seed),
+		sizes:     sdscSizeDist(),
+		runtimes:  sdscRuntimeDist(),
+		maxSize:   maxSize,
+		meanInter: meanInterarrival,
+	}
+}
+
+// NewBursty returns an on/off (interrupted Poisson) source: during ON
+// periods jobs arrive with the given mean interarrival; OFF periods
+// contribute no arrivals. ON and OFF durations are exponential with
+// means meanOn and meanOff, so the long-run arrival rate is the Poisson
+// rate thinned by meanOn/(meanOn+meanOff) while bursts within ON
+// periods hit the full rate. It panics on non-positive parameters.
+func NewBursty(meanInterarrival, meanOn, meanOff float64, maxSize int, seed int64) *Synthetic {
+	if meanInterarrival <= 0 || meanOn <= 0 || meanOff <= 0 {
+		panic(fmt.Sprintf("trace: invalid bursty parameters %g/%g/%g",
+			meanInterarrival, meanOn, meanOff))
+	}
+	s := NewPoisson(meanInterarrival, maxSize, seed)
+	s.meanOn, s.meanOff = meanOn, meanOff
+	s.onLeft = s.rng.ExpFloat64() * meanOn
+	return s
+}
+
+// Next implements Source. Synthetic streams never exhaust; bound them
+// with Limit or the engine's horizon.
+func (s *Synthetic) Next() (Job, bool) {
+	gap := s.rng.ExpFloat64() * s.meanInter
+	if s.meanOn > 0 {
+		// Consume ON time until the gap fits, skipping OFF periods.
+		for gap > s.onLeft {
+			gap -= s.onLeft
+			s.now += s.onLeft + s.rng.ExpFloat64()*s.meanOff
+			s.onLeft = s.rng.ExpFloat64() * s.meanOn
+		}
+		s.onLeft -= gap
+	}
+	s.now += gap
+
+	size, run := sampleSDSCJob(s.rng, s.sizes, s.runtimes, s.maxSize)
+	j := Job{ID: s.next, Arrival: s.now, Size: size, Runtime: run}
+	s.next++
+	return j, true
+}
+
+// limited caps a Source at n jobs.
+type limited struct {
+	src  Source
+	left int
+}
+
+// Limit returns a Source yielding at most n jobs from src.
+func Limit(src Source, n int) Source {
+	return &limited{src: src, left: n}
+}
+
+func (l *limited) Next() (Job, bool) {
+	if l.left <= 0 {
+		return Job{}, false
+	}
+	j, ok := l.src.Next()
+	if ok {
+		l.left--
+	}
+	return j, ok
+}

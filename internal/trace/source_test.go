@@ -1,0 +1,143 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTraceSourceReplaysInOrder(t *testing.T) {
+	tr := NewSDSC(SDSCConfig{Jobs: 50, MaxSize: 64, Seed: 3})
+	src := tr.Source()
+	for i, want := range tr.Jobs {
+		j, ok := src.Next()
+		if !ok {
+			t.Fatalf("source exhausted at %d", i)
+		}
+		if j != want {
+			t.Fatalf("job %d: %+v, want %+v", i, j, want)
+		}
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("source should be exhausted")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("exhausted source must stay exhausted")
+	}
+}
+
+func TestPoissonSourceStatistics(t *testing.T) {
+	const mean = 500.0
+	src := NewPoisson(mean, 64, 1)
+	var last float64
+	var inter []float64
+	n := 20000
+	for i := 0; i < n; i++ {
+		j, ok := src.Next()
+		if !ok {
+			t.Fatal("synthetic source must not exhaust")
+		}
+		if j.ID != i {
+			t.Fatalf("job %d has ID %d", i, j.ID)
+		}
+		if j.Arrival < last {
+			t.Fatalf("arrivals not nondecreasing: %g after %g", j.Arrival, last)
+		}
+		if j.Size < 1 || j.Size > 64 {
+			t.Fatalf("size %d outside [1,64]", j.Size)
+		}
+		if j.Runtime < 30 || j.Runtime > 172800 {
+			t.Fatalf("runtime %g outside clamp", j.Runtime)
+		}
+		inter = append(inter, j.Arrival-last)
+		last = j.Arrival
+	}
+	// Poisson: mean interarrival near the configured mean, CV near 1.
+	m, s := meanStd(inter)
+	if math.Abs(m-mean)/mean > 0.05 {
+		t.Fatalf("mean interarrival %g, want ~%g", m, mean)
+	}
+	if cv := s / m; math.Abs(cv-1) > 0.1 {
+		t.Fatalf("interarrival CV %g, want ~1 (exponential)", cv)
+	}
+}
+
+// TestBurstySourceBurstier pins the point of the on/off process: at the
+// same long-run arrival rate, interarrivals are burstier (higher CV)
+// than Poisson, because arrivals cluster inside ON periods.
+func TestBurstySourceBurstier(t *testing.T) {
+	src := NewBursty(200, 3600, 7200, 64, 1)
+	var last float64
+	var inter []float64
+	for i := 0; i < 20000; i++ {
+		j, ok := src.Next()
+		if !ok {
+			t.Fatal("bursty source must not exhaust")
+		}
+		if j.Arrival < last {
+			t.Fatalf("arrivals not nondecreasing at %d", i)
+		}
+		inter = append(inter, j.Arrival-last)
+		last = j.Arrival
+	}
+	m, s := meanStd(inter)
+	// Long-run mean interarrival = 200 * (3600+7200)/3600 = 600.
+	if math.Abs(m-600)/600 > 0.15 {
+		t.Fatalf("long-run mean interarrival %g, want ~600", m)
+	}
+	if cv := s / m; cv < 1.3 {
+		t.Fatalf("bursty CV %g, want well above Poisson's 1", cv)
+	}
+}
+
+func TestLimitCapsSource(t *testing.T) {
+	src := Limit(NewPoisson(100, 64, 1), 7)
+	count := 0
+	for {
+		_, ok := src.Next()
+		if !ok {
+			break
+		}
+		count++
+		if count > 7 {
+			t.Fatal("Limit did not cap the stream")
+		}
+	}
+	if count != 7 {
+		t.Fatalf("yielded %d jobs, want 7", count)
+	}
+	// A Limit over an already-short stream passes exhaustion through.
+	tr := &Trace{Jobs: []Job{{ID: 0, Size: 1, Runtime: 30}}}
+	src = Limit(tr.Source(), 5)
+	if _, ok := src.Next(); !ok {
+		t.Fatal("first job missing")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("underlying exhaustion not passed through")
+	}
+}
+
+func TestSourceConstructorsValidate(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s should panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("poisson", func() { NewPoisson(0, 64, 1) })
+	mustPanic("bursty inter", func() { NewBursty(0, 10, 10, 64, 1) })
+	mustPanic("bursty on", func() { NewBursty(10, 0, 10, 64, 1) })
+	mustPanic("bursty off", func() { NewBursty(10, 10, -1, 64, 1) })
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(std / float64(len(xs)))
+}

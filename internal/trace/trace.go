@@ -168,9 +168,32 @@ func sdscSizeDist() *stats.DiscreteDist {
 	return stats.NewDiscreteDist(values, weights)
 }
 
+// sdscRuntimeDist is the runtime distribution fitted to the published
+// moments (mean 3.04 h, CV 1.13).
+func sdscRuntimeDist() stats.Lognormal { return stats.NewLognormal(10944, 1.13) }
+
+// sampleSDSCJob draws one job's size and runtime from the SDSC-fitted
+// distributions, capping sizes at maxSize (0 = uncapped) and clamping
+// runtimes to [30 s, 48 h], the span of a production NQS queue. Shared
+// by the closed-trace synthesizer and the open-system sources so the
+// two workload shapes can never drift apart.
+func sampleSDSCJob(rng *stats.RNG, sizes *stats.DiscreteDist, runtimes stats.Lognormal, maxSize int) (size int, run float64) {
+	size = sizes.SampleInt(rng)
+	if maxSize > 0 && size > maxSize {
+		size = maxSize
+	}
+	run = runtimes.Sample(rng)
+	if run < 30 {
+		run = 30
+	}
+	if run > 172800 {
+		run = 172800
+	}
+	return size, run
+}
+
 // NewSDSC synthesizes a trace with the SDSC Paragon's published
-// statistics. Runtimes are clamped to [30 s, 48 h], the span of a
-// production NQS queue.
+// statistics.
 func NewSDSC(cfg SDSCConfig) *Trace {
 	if cfg.Jobs <= 0 {
 		panic(fmt.Sprintf("trace: invalid job count %d", cfg.Jobs))
@@ -178,23 +201,13 @@ func NewSDSC(cfg SDSCConfig) *Trace {
 	rng := stats.NewRNG(cfg.Seed)
 	inter := stats.NewHyperExp2(1301, 3.7)
 	sizes := sdscSizeDist()
-	runtimes := stats.NewLognormal(10944, 1.13)
+	runtimes := sdscRuntimeDist()
 
 	t := &Trace{Jobs: make([]Job, 0, cfg.Jobs)}
 	now := 0.0
 	for i := 0; i < cfg.Jobs; i++ {
 		now += inter.Sample(rng)
-		size := sizes.SampleInt(rng)
-		if cfg.MaxSize > 0 && size > cfg.MaxSize {
-			size = cfg.MaxSize
-		}
-		run := runtimes.Sample(rng)
-		if run < 30 {
-			run = 30
-		}
-		if run > 172800 {
-			run = 172800
-		}
+		size, run := sampleSDSCJob(rng, sizes, runtimes, cfg.MaxSize)
 		t.Jobs = append(t.Jobs, Job{ID: i, Arrival: now, Size: size, Runtime: run})
 	}
 	return t

@@ -20,7 +20,7 @@
 //   - FCFS (and, as an extension, EASY backfilling) scheduling;
 //   - an experiment harness regenerating every figure in the paper.
 //
-// Quick start:
+// Quick start (closed-system batch replay, the paper's setup):
 //
 //	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: 500, MaxSize: 352, Seed: 1})
 //	res, err := meshalloc.Run(meshalloc.Config{
@@ -30,6 +30,17 @@
 //		Load:    0.6,
 //		TimeScale: 0.02,
 //	}, tr)
+//
+// Open-system streaming (online submission, constant memory):
+//
+//	eng, err := meshalloc.NewEngine(meshalloc.Config{
+//		MeshW: 16, MeshH: 16,
+//		Alloc: "hilbert/bestfit", Pattern: "nbody",
+//		KeepRecords: meshalloc.Discard, KeepNodes: meshalloc.Discard,
+//	})
+//	eng.Observe(func(r meshalloc.JobRecord) { /* stream each record */ })
+//	err = eng.RunSource(meshalloc.NewPoissonSource(900, 256, 1), 1e6)
+//	summary := eng.Result() // streaming mean, P² median, utilization
 package meshalloc
 
 import (
@@ -57,6 +68,27 @@ const (
 	IssueSequential = sim.IssueSequential
 )
 
+// Engine is the resumable discrete-event core: online Submit while the
+// clock runs, Step/RunUntil/Drain, streaming Observer callbacks, and
+// constant-memory open-system runs under the Discard policies.
+type Engine = sim.Engine
+
+// Observer receives each finished job's record as it completes.
+type Observer = sim.Observer
+
+// KeepPolicy selects whether per-job data is retained (Keep, default)
+// or only streamed to observers (Discard).
+type KeepPolicy = sim.KeepPolicy
+
+// Retention policies.
+const (
+	Keep    = sim.Keep
+	Discard = sim.Discard
+)
+
+// Source is a pull-based job stream for open-system simulation.
+type Source = trace.Source
+
 // Trace is an arrival-ordered job stream.
 type Trace = trace.Trace
 
@@ -75,9 +107,27 @@ type ExperimentOptions = core.Options
 // Run simulates tr under cfg. See sim.Run.
 func Run(cfg Config, tr *Trace) (*Result, error) { return sim.Run(cfg, tr) }
 
+// NewEngine builds an idle engine for cfg. See sim.NewEngine.
+func NewEngine(cfg Config) (*Engine, error) { return sim.NewEngine(cfg) }
+
 // NewSDSCTrace synthesizes a workload with the SDSC Paragon's published
 // statistics. See trace.NewSDSC.
 func NewSDSCTrace(cfg SDSCConfig) *Trace { return trace.NewSDSC(cfg) }
+
+// NewPoissonSource returns an unbounded open-system source with Poisson
+// arrivals at the given mean interarrival time. See trace.NewPoisson.
+func NewPoissonSource(meanInterarrival float64, maxSize int, seed int64) Source {
+	return trace.NewPoisson(meanInterarrival, maxSize, seed)
+}
+
+// NewBurstySource returns an on/off (interrupted Poisson) open-system
+// source. See trace.NewBursty.
+func NewBurstySource(meanInterarrival, meanOn, meanOff float64, maxSize int, seed int64) Source {
+	return trace.NewBursty(meanInterarrival, meanOn, meanOff, maxSize, seed)
+}
+
+// LimitSource caps a source at n jobs. See trace.Limit.
+func LimitSource(src Source, n int) Source { return trace.Limit(src, n) }
 
 // Allocators returns the nine allocator specs evaluated in the paper's
 // response-time figures.

@@ -22,6 +22,50 @@ func TestFacadeQuickstart(t *testing.T) {
 	}
 }
 
+// TestFacadeEngineStreaming runs the open-system quick start from the
+// package documentation through the facade.
+func TestFacadeEngineStreaming(t *testing.T) {
+	eng, err := NewEngine(Config{
+		MeshW: 8, MeshH: 8,
+		Alloc: "hilbert/bestfit", Pattern: "nbody",
+		Seed:        1,
+		KeepRecords: Discard, KeepNodes: Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := 0
+	eng.Observe(func(r JobRecord) { streamed++ })
+	src := LimitSource(NewPoissonSource(500, 64, 1), 200)
+	if err := eng.RunSource(src, 0); err != nil {
+		t.Fatal(err)
+	}
+	res := eng.Result()
+	if streamed != 200 || res.Jobs != 200 {
+		t.Fatalf("streamed %d, Result.Jobs %d, want 200", streamed, res.Jobs)
+	}
+	if res.Records != nil {
+		t.Fatal("Discard run retained records")
+	}
+	if res.MeanResponse <= 0 || res.MedianResponse <= 0 {
+		t.Fatalf("degenerate streaming aggregates: %+v", res)
+	}
+	// The bursty source drives the same machinery.
+	eng2, err := NewEngine(Config{
+		MeshW: 8, MeshH: 8, Alloc: "scurve", Pattern: "ring", Seed: 1,
+		KeepRecords: Discard, KeepNodes: Discard,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng2.RunSource(LimitSource(NewBurstySource(200, 3600, 7200, 64, 2), 100), 0); err != nil {
+		t.Fatal(err)
+	}
+	if eng2.Result().Jobs != 100 {
+		t.Fatalf("bursty run finished %d jobs", eng2.Result().Jobs)
+	}
+}
+
 func TestFacadeAllocator(t *testing.T) {
 	m := NewMesh(8, 8)
 	for _, spec := range Allocators() {

@@ -17,7 +17,9 @@ import (
 	"meshalloc/internal/alloc"
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/netsim"
+	"meshalloc/internal/sim"
 	"meshalloc/internal/topo"
+	"meshalloc/internal/trace"
 )
 
 // TestShellIterationZeroAlloc pins mesh shell walking (the inner loop of
@@ -168,6 +170,43 @@ func TestIndexedAllocatorSteadyStateAllocs(t *testing.T) {
 				}
 			})
 		}
+	}
+}
+
+// TestEngineDiscardPerJobAllocs pins the engine's Discard retention
+// path at a small constant allocation count per job, independent of
+// message quota and stream length: the runningJob pool, the recycled
+// event heap, zero-alloc Send and the skipped record/node copies must
+// keep per-job garbage down to the allocator's returned id slice plus
+// a handful of per-job objects (pattern generator, component scan).
+// Batch-retention overhead (record slice growth, node copies) or any
+// per-message allocation would push this well past the bound.
+func TestEngineDiscardPerJobAllocs(t *testing.T) {
+	const jobs = 2000
+	cfg := sim.Config{
+		MeshW: 16, MeshH: 16,
+		Alloc: "hilbert/bestfit", Pattern: "nbody",
+		Seed:          1,
+		MsgsPerSecond: 0.01, // ~100 messages per job: quota-linear garbage would dominate
+		KeepRecords:   sim.Discard,
+		KeepNodes:     sim.Discard,
+	}
+	n := testing.AllocsPerRun(1, func() {
+		e, err := sim.NewEngine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		e.Observe(func(sim.JobRecord) { count++ })
+		if err := e.RunSource(trace.Limit(trace.NewPoisson(1000, 256, 1), jobs), 0); err != nil {
+			t.Fatal(err)
+		}
+		if count != jobs {
+			t.Fatalf("finished %d jobs", count)
+		}
+	})
+	if perJob := n / jobs; perJob > 20 {
+		t.Fatalf("Discard engine allocates %.1f objects/job, want <= 20", perJob)
 	}
 }
 
