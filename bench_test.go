@@ -466,6 +466,88 @@ func BenchmarkOpenSystemMillionJobs(b *testing.B) {
 	reportMetric(b, "live_heap_mb", float64(m1.HeapAlloc)/(1<<20))
 }
 
+// --- Parallel experiment fabric (see BENCH.md: BENCH_5.json) ---
+
+// benchSweepScaling runs one replicated experiment at several worker
+// counts and reports wall_s per count plus the speedup of the widest
+// pool over the sequential run. Because the fabric is bit-deterministic
+// the runs produce identical figures — only wall_s moves, and only with
+// real cores: on a single-core host every worker count reports ~the
+// same wall time (the honest result; see BENCH.md).
+func benchSweepScaling(b *testing.B, name string, build func(core.Options) (*core.Figure, error)) {
+	var wall [4]float64
+	counts := []int{1, 2, 4, 8}
+	for ci, workers := range counts {
+		b.Run(fmt.Sprintf("%s/workers%d", name, workers), func(b *testing.B) {
+			opt := core.Options{Jobs: 120, TimeScale: 0.01, Seed: 1,
+				Loads: []float64{1.0, 0.4}, Replications: 4, Parallelism: workers}
+			for i := 0; i < b.N; i++ {
+				fig, err := build(opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(fig.Series) == 0 && len(fig.Tables) == 0 {
+					b.Fatal("empty figure")
+				}
+			}
+			wall[ci] = b.Elapsed().Seconds() / float64(b.N)
+			reportMetric(b, "wall_s", wall[ci])
+			if ci > 0 && wall[0] > 0 {
+				reportMetric(b, "speedup_vs_seq", wall[0]/wall[ci])
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSweepFig7b scales the replicated Figure 7(b) grid —
+// 9 allocators x 2 loads x 4 replications — across the sweep pool.
+func BenchmarkParallelSweepFig7b(b *testing.B) {
+	benchSweepScaling(b, "fig7b", func(o core.Options) (*core.Figure, error) {
+		return core.Fig7(o)
+	})
+}
+
+// BenchmarkParallelSweepExtSteady scales the replicated open-system
+// steady-state table, whose reduction exercises the streaming merges.
+func BenchmarkParallelSweepExtSteady(b *testing.B) {
+	benchSweepScaling(b, "ext-steady", func(o core.Options) (*core.Figure, error) {
+		return core.ExtSteady(o)
+	})
+}
+
+// BenchmarkAllocateParallel times the sharded candidate scan against
+// the sequential loop on a large machine at realistic occupancy. The
+// parallel scan answers are bit-identical (see alloc's parallel tests);
+// the question here is only the goroutine overhead versus core count.
+func BenchmarkAllocateParallel(b *testing.B) {
+	variants := []struct {
+		name string
+		mk   func(*topo.Grid) alloc.Allocator
+	}{
+		{"mc", func(g *topo.Grid) alloc.Allocator { return alloc.NewMC(g) }},
+		{"genalg", func(g *topo.Grid) alloc.Allocator { return alloc.NewGenAlg(g) }},
+	}
+	for _, v := range variants {
+		for _, workers := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("32x32/%s/workers%d", v.name, workers), func(b *testing.B) {
+				g := topo.New([]int{32, 32})
+				a := v.mk(g)
+				a.(alloc.ParallelScorer).SetParallelism(workers)
+				prefillAllocator(b, a, g.Size())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					ids, err := a.Allocate(alloc.Request{Size: 64})
+					if err != nil {
+						b.Fatal(err)
+					}
+					a.Release(ids)
+				}
+				reportMetric(b, "ns_per_alloc", float64(b.Elapsed().Nanoseconds())/float64(b.N))
+			})
+		}
+	}
+}
+
 // --- Micro-benchmarks of the substrates ---
 
 func BenchmarkAllocate(b *testing.B) {

@@ -28,8 +28,8 @@ func main() {
 		scale    = flag.Float64("timescale", 0, "trace time contraction (0 = default 0.02)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		full     = flag.Bool("full", false, "replay the full 6087-job trace (slow)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations (0 = GOMAXPROCS)")
-		reps     = flag.Int("reps", 1, "replications per configuration (mean ± sd across seeds)")
+		parallel = flag.Int("parallel", 0, "max concurrent simulations; grid cells and replications share one worker pool and output is identical at any value (0 = GOMAXPROCS)")
+		reps     = flag.Int("reps", 1, "replications per configuration on independent derived RNG streams (mean ± sd across seeds)")
 		ext      = flag.Bool("ext", false, "also run the extension experiments (ext-contiguous, ext-scheduler, ext-routing, ext-mixed, ext-cube, ext-cube3d, ext-steady)")
 		sched    = flag.String("sched", "", "scheduling policy for extension runs (fcfs, easy or sjf; empty = each experiment's default)")
 		csvDir   = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")

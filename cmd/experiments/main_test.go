@@ -1,0 +1,51 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+
+	"meshalloc/internal/core"
+)
+
+// render runs one experiment in process and returns the bytes the CLI
+// would print for it — the same Render path main uses.
+func render(t *testing.T, id string, opt core.Options) []byte {
+	t.Helper()
+	fig, err := runExperiment(id, opt)
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestParallelFlagDoesNotChangeOutput is the CLI determinism smoke
+// test: `-reps 3 -parallel 2` must print exactly the tables that
+// `-reps 3 -parallel 1` prints, for a figure grid and for the
+// ext-steady extension (which consumes -parallel through the same
+// sweep fabric).
+func TestParallelFlagDoesNotChangeOutput(t *testing.T) {
+	for _, id := range []string{"7", "ext-steady"} {
+		opt := core.Options{Jobs: 60, TimeScale: 0.01, Seed: 1,
+			Loads: []float64{0.4}, Replications: 3, Parallelism: 1}
+		seq := render(t, id, opt)
+		opt.Parallelism = 2
+		if par := render(t, id, opt); !bytes.Equal(seq, par) {
+			t.Fatalf("%s: -parallel 2 output differs from -parallel 1:\n--- parallel 1 ---\n%s\n--- parallel 2 ---\n%s",
+				id, seq, par)
+		}
+	}
+}
+
+// TestRunExperimentDispatch checks both dispatch arms resolve.
+func TestRunExperimentDispatch(t *testing.T) {
+	if _, err := runExperiment("nope", core.Options{}); err == nil {
+		t.Fatal("unknown figure id must error")
+	}
+	if _, err := runExperiment("ext-nope", core.Options{}); err == nil {
+		t.Fatal("unknown extension id must error")
+	}
+}

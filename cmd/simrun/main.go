@@ -52,6 +52,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "stream per-job records as NDJSON to stdout (summary goes to stderr); records are not retained")
 		arrival   = flag.String("arrival", "", "open-system arrival process: poisson:MEANSEC or bursty:MEANSEC,ONSEC,OFFSEC (empty = closed trace replay)")
 		duration  = flag.Float64("duration", 0, "open-system horizon in trace seconds (0 = run until the -jobs cap)")
+		allocWk   = flag.Int("alloc-workers", 0, "goroutines scoring allocation candidates (mc, mc1x1, genalg); results are bit-identical at any value")
 	)
 	flag.Parse()
 
@@ -65,14 +66,15 @@ func main() {
 	}
 
 	cfg := sim.Config{
-		Dims:      dims,
-		Torus:     *torus,
-		Alloc:     *allocSpec,
-		Pattern:   *pattern,
-		Load:      *load,
-		TimeScale: *timeScale,
-		Seed:      *seed,
-		Scheduler: *scheduler,
+		Dims:         dims,
+		Torus:        *torus,
+		Alloc:        *allocSpec,
+		Pattern:      *pattern,
+		Load:         *load,
+		TimeScale:    *timeScale,
+		Seed:         *seed,
+		Scheduler:    *scheduler,
+		AllocWorkers: *allocWk,
 	}
 	if *issue == "sequential" {
 		cfg.Issue = sim.IssueSequential

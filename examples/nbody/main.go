@@ -9,7 +9,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"sort"
 
 	"meshalloc"
@@ -18,7 +20,13 @@ import (
 func main() {
 	jobs := flag.Int("jobs", 600, "synthetic trace length (lower for a quick smoke run)")
 	flag.Parse()
-	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: *jobs, MaxSize: 256, Seed: 3})
+	if err := run(*jobs, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(jobs int, w io.Writer) error {
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: jobs, MaxSize: 256, Seed: 3})
 
 	type entry struct {
 		spec string
@@ -35,18 +43,19 @@ func main() {
 			Seed:      3,
 		}, tr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		ranking = append(ranking, entry{spec: spec, resp: res.MeanResponse})
 	}
 	sort.Slice(ranking, func(i, j int) bool { return ranking[i].resp < ranking[j].resp })
 
-	fmt.Println("n-body on 16x16 at 5x load — allocators best to worst:")
+	fmt.Fprintln(w, "n-body on 16x16 at 5x load — allocators best to worst:")
 	for i, e := range ranking {
-		fmt.Printf("%2d. %-18s mean response %9.0f s\n", i+1, e.spec, e.resp)
+		fmt.Fprintf(w, "%2d. %-18s mean response %9.0f s\n", i+1, e.spec, e.resp)
 	}
-	fmt.Println("\nThe paper's observation: space-filling-curve strategies suit the")
-	fmt.Println("ring-structured n-body pattern (curve neighbours are mesh")
-	fmt.Println("neighbours), while the blob-building MC/MC1x1/Gen-Alg family")
-	fmt.Println("scatters ring neighbours and trails the field.")
+	fmt.Fprintln(w, "\nThe paper's observation: space-filling-curve strategies suit the")
+	fmt.Fprintln(w, "ring-structured n-body pattern (curve neighbours are mesh")
+	fmt.Fprintln(w, "neighbours), while the blob-building MC/MC1x1/Gen-Alg family")
+	fmt.Fprintln(w, "scatters ring neighbours and trails the field.")
+	return nil
 }

@@ -1,0 +1,23 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"meshalloc"
+)
+
+// TestRunSmoke executes the ranking with a tiny trace and checks every
+// allocator appears exactly once.
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(30, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, spec := range meshalloc.Allocators() {
+		if n := strings.Count(out, " "+spec+" "); n != 1 {
+			t.Fatalf("allocator %q appears %d times, want 1:\n%s", spec, n, out)
+		}
+	}
+}

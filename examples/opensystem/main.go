@@ -11,7 +11,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"meshalloc"
 )
@@ -20,7 +22,12 @@ func main() {
 	jobs := flag.Int("jobs", 2000, "number of open-system arrivals to simulate")
 	bursty := flag.Bool("bursty", false, "use the on/off bursty arrival process instead of Poisson")
 	flag.Parse()
+	if err := run(*jobs, *bursty, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
 
+func run(jobs int, bursty bool, w io.Writer) error {
 	eng, err := meshalloc.NewEngine(meshalloc.Config{
 		MeshW: 16, MeshH: 16,
 		Alloc:   "hilbert/bestfit",
@@ -33,7 +40,7 @@ func main() {
 		KeepNodes:   meshalloc.Discard,
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	// An observer sees every record the moment its job finishes; here
@@ -49,20 +56,21 @@ func main() {
 	// SDSC-sized jobs on 256 processors. The bursty variant clusters
 	// the same long-run rate into on/off periods.
 	var src meshalloc.Source
-	if *bursty {
+	if bursty {
 		src = meshalloc.NewBurstySource(200, 3600, 7200, 256, 7)
 	} else {
 		src = meshalloc.NewPoissonSource(620, 256, 7)
 	}
-	if err := eng.RunSource(meshalloc.LimitSource(src, *jobs), 0); err != nil {
-		log.Fatal(err)
+	if err := eng.RunSource(meshalloc.LimitSource(src, jobs), 0); err != nil {
+		return err
 	}
 
 	res := eng.Result()
-	fmt.Printf("open-system run: %d jobs, records retained: %d\n", res.Jobs, len(res.Records))
-	fmt.Printf("  mean response      %10.0f s (streaming)\n", res.MeanResponse)
-	fmt.Printf("  median response    %10.0f s (P² estimate)\n", res.MedianResponse)
-	fmt.Printf("  utilization        %10.1f %%\n", res.UtilizationPct)
-	fmt.Printf("  mean queue length  %10.2f jobs\n", res.MeanQueueLen)
-	fmt.Printf("  worst job: id %d, size %d, response %.0f s\n", worst.ID, worst.Size, worst.Response)
+	fmt.Fprintf(w, "open-system run: %d jobs, records retained: %d\n", res.Jobs, len(res.Records))
+	fmt.Fprintf(w, "  mean response      %10.0f s (streaming)\n", res.MeanResponse)
+	fmt.Fprintf(w, "  median response    %10.0f s (P² estimate)\n", res.MedianResponse)
+	fmt.Fprintf(w, "  utilization        %10.1f %%\n", res.UtilizationPct)
+	fmt.Fprintf(w, "  mean queue length  %10.2f jobs\n", res.MeanQueueLen)
+	fmt.Fprintf(w, "  worst job: id %d, size %d, response %.0f s\n", worst.ID, worst.Size, worst.Response)
+	return nil
 }

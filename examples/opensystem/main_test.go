@@ -1,0 +1,24 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke runs both arrival processes with a tiny job cap and
+// checks the streaming summary appears with no records retained.
+func TestRunSmoke(t *testing.T) {
+	for _, bursty := range []bool{false, true} {
+		var b strings.Builder
+		if err := run(30, bursty, &b); err != nil {
+			t.Fatalf("bursty=%t: %v", bursty, err)
+		}
+		out := b.String()
+		if !strings.Contains(out, "records retained: 0") {
+			t.Fatalf("bursty=%t: open-system run retained records:\n%s", bursty, out)
+		}
+		if !strings.Contains(out, "mean response") || !strings.Contains(out, "worst job") {
+			t.Fatalf("bursty=%t: summary incomplete:\n%s", bursty, out)
+		}
+	}
+}

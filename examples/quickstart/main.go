@@ -7,7 +7,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
 
 	"meshalloc"
 )
@@ -15,9 +17,15 @@ import (
 func main() {
 	jobs := flag.Int("jobs", 400, "synthetic trace length (lower for a quick smoke run)")
 	flag.Parse()
+	if err := run(*jobs, os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(jobs int, w io.Writer) error {
 	// A workload statistically matched to the SDSC Paragon trace,
 	// capped to fit a 16x16 machine.
-	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: *jobs, MaxSize: 256, Seed: 7})
+	tr := meshalloc.NewSDSCTrace(meshalloc.SDSCConfig{Jobs: jobs, MaxSize: 256, Seed: 7})
 
 	for _, spec := range []string{"hilbert/bestfit", "scurve"} {
 		res, err := meshalloc.Run(meshalloc.Config{
@@ -29,12 +37,13 @@ func main() {
 			Seed:      7,
 		}, tr)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%-16s mean response %8.0f s   contiguous %5.1f%%   avg components %.2f\n",
+		fmt.Fprintf(w, "%-16s mean response %8.0f s   contiguous %5.1f%%   avg components %.2f\n",
 			spec, res.MeanResponse, res.PctContiguous, res.AvgComponents)
 	}
-	fmt.Println("\nHilbert with Best Fit keeps jobs compact, so all-to-all traffic")
-	fmt.Println("contends less and the FCFS queue drains faster than under the")
-	fmt.Println("plain sorted-free-list S-curve allocator.")
+	fmt.Fprintln(w, "\nHilbert with Best Fit keeps jobs compact, so all-to-all traffic")
+	fmt.Fprintln(w, "contends less and the FCFS queue drains faster than under the")
+	fmt.Fprintln(w, "plain sorted-free-list S-curve allocator.")
+	return nil
 }

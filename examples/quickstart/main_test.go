@@ -1,0 +1,21 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSmoke executes the example end to end with a tiny trace and
+// checks both allocators report.
+func TestRunSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run(40, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"hilbert/bestfit", "scurve", "mean response"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}

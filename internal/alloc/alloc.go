@@ -382,6 +382,9 @@ type MC struct {
 	// so the steady state allocates only the returned slice.
 	gatherBuf []int
 	bestBuf   []int
+	// workers belongs to the opt-in parallel candidate scan (see
+	// parallel.go); workers <= 1 (the default) keeps the sequential loop.
+	workers int
 }
 
 // NewMC returns the shape-aware MC allocator.
@@ -434,16 +437,20 @@ func (a *MC) Allocate(req Request) ([]int, error) {
 		return a.allocateNaive(ext, req.Size)
 	}
 	bestCost, bestCenter := -1, -1
-	for center := 0; center < a.g.Size(); center++ {
-		if a.busy[center] {
-			continue
-		}
-		cost, ok := a.countCost(a.g.Coord(center), ext, req.Size, bestCost)
-		if !ok {
-			continue
-		}
-		if bestCost == -1 || cost < bestCost {
-			bestCost, bestCenter = cost, center
+	if a.workers > 1 {
+		bestCost, bestCenter = a.scanParallel(ext, req.Size)
+	} else {
+		for center := 0; center < a.g.Size(); center++ {
+			if a.busy[center] {
+				continue
+			}
+			cost, ok := a.countCost(a.g.Coord(center), ext, req.Size, bestCost)
+			if !ok {
+				continue
+			}
+			if bestCost == -1 || cost < bestCost {
+				bestCost, bestCenter = cost, center
+			}
 		}
 	}
 	if bestCost == -1 {
@@ -563,12 +570,34 @@ type GenAlg struct {
 	bestBuf []int
 	ringBuf []int
 	axisBuf [topo.MaxDims][]int
-	// Indexed-scoring scratch: per-axis member marginals, and the
-	// previous candidate's ball radius seeding the next radius search
-	// (neighboring centers rarely differ by much).
-	margBuf [topo.MaxDims][]int
-	radius  int
+	// scratch is the indexed-scoring workspace of the sequential
+	// candidate loop; parallel scoring workers own private copies (see
+	// parallel.go) so the loop can shard without sharing mutable state.
+	scratch genScratch
 	maxR    int
+	// workers and parScratch belong to the opt-in parallel candidate
+	// scan; workers <= 1 (the default) keeps the sequential loop.
+	workers    int
+	parScratch []genScratch
+}
+
+// genScratch is one candidate-scoring workspace for the indexed Gen-Alg
+// loop: per-axis member marginals, and the previous candidate's ball
+// radius seeding the next radius search (neighboring centers rarely
+// differ by much). The radius hint only steers where ballCutoff starts
+// searching — the cutoff it returns is a pure function of the machine
+// state — so scoring through any scratch yields identical costs.
+type genScratch struct {
+	marg   [topo.MaxDims][]int
+	radius int
+}
+
+func newGenScratch(g *topo.Grid) genScratch {
+	var s genScratch
+	for i := 0; i < g.ND(); i++ {
+		s.marg[i] = make([]int, g.Dim(i))
+	}
+	return s
 }
 
 // NewGenAlg returns a Gen-Alg allocator over g.
@@ -587,9 +616,8 @@ func NewGenAlg(g *topo.Grid) *GenAlg {
 func NewGenAlgNaive(g *topo.Grid) *GenAlg { return newGenAlg(g) }
 
 func newGenAlg(g *topo.Grid) *GenAlg {
-	a := &GenAlg{tracker: newTracker(g)}
+	a := &GenAlg{tracker: newTracker(g), scratch: newGenScratch(g)}
 	for i := 0; i < g.ND(); i++ {
-		a.margBuf[i] = make([]int, g.Dim(i))
 		a.maxR += g.Dim(i)
 	}
 	return a
@@ -607,14 +635,18 @@ func (a *GenAlg) Allocate(req Request) ([]int, error) {
 		return a.allocateNaive(req.Size)
 	}
 	bestDist, bestCenter := -1, -1
-	a.radius = 0
-	for center := 0; center < a.g.Size(); center++ {
-		if a.busy[center] {
-			continue
-		}
-		d := a.countPairwise(center, req.Size)
-		if bestDist == -1 || d < bestDist {
-			bestDist, bestCenter = d, center
+	if a.workers > 1 {
+		bestDist, bestCenter = a.scanParallel(req.Size)
+	} else {
+		a.scratch.radius = 0
+		for center := 0; center < a.g.Size(); center++ {
+			if a.busy[center] {
+				continue
+			}
+			d := a.countPairwise(&a.scratch, center, req.Size)
+			if bestDist == -1 || d < bestDist {
+				bestDist, bestCenter = d, center
+			}
 		}
 	}
 	if bestCenter == -1 {
@@ -652,31 +684,33 @@ func (a *GenAlg) allocateNaive(size int) ([]int, error) {
 // countPairwise computes the exact total pairwise distance of the set
 // nearest(center, k) would gather, without gathering it: the ball
 // radius from the index, interior per-axis marginals from slice counts,
-// and only the boundary ring walked for the row-major tail.
-func (a *GenAlg) countPairwise(center, k int) int {
+// and only the boundary ring walked for the row-major tail. All mutable
+// state lives in s, so concurrent callers with distinct scratches score
+// disjoint candidates safely (the index and busy bitmap are only read).
+func (a *GenAlg) countPairwise(s *genScratch, center, k int) int {
 	c := a.g.Coord(center)
-	r, inner := a.ballCutoff(c, k, a.radius)
-	a.radius = r
+	r, inner := a.ballCutoff(c, k, s.radius)
+	s.radius = r
 	nd := a.g.ND()
 	for ax := 0; ax < nd; ax++ {
 		lo, hi := a.g.ClipInterval(ax, c[ax]-r, c[ax]+r)
-		m := a.margBuf[ax]
+		m := s.marg[ax]
 		for v := lo; v < hi; v++ {
 			m[v] = 0
 		}
 	}
 	if inner > 0 {
 		for ax := 0; ax < nd; ax++ {
-			a.balls.AddMarginal(ax, c, r-1, a.margBuf[ax])
+			a.balls.AddMarginal(ax, c, r-1, s.marg[ax])
 		}
 	}
 	if tail := k - inner; tail > 0 {
-		a.tailMarginals(c, r, tail)
+		a.tailMarginals(s, c, r, tail)
 	}
 	total := 0
 	for ax := 0; ax < nd; ax++ {
 		lo, hi := a.g.ClipInterval(ax, c[ax]-r, c[ax]+r)
-		m := a.margBuf[ax]
+		m := s.marg[ax]
 		seen, prefix := 0, 0
 		for v := lo; v < hi; v++ {
 			cnt := m[v]
@@ -698,7 +732,7 @@ func (a *GenAlg) countPairwise(center, k int) int {
 // calls, nothing materialized): the tail is the only part of a
 // candidate the indexed scorer still walks, so it must cost a probe
 // per cell and no more.
-func (a *GenAlg) tailMarginals(c topo.Point, r, tail int) {
+func (a *GenAlg) tailMarginals(s *genScratch, c topo.Point, r, tail int) {
 	if a.g.ND() == 2 {
 		w, h := a.g.Dim(0), a.g.Dim(1)
 		for dy := -r; dy <= r; dy++ {
@@ -709,16 +743,16 @@ func (a *GenAlg) tailMarginals(c topo.Point, r, tail int) {
 			dx := r - abs(dy)
 			row := y * w
 			if x := c[0] - dx; x >= 0 && x < w && !a.busy[row+x] {
-				a.margBuf[0][x]++
-				a.margBuf[1][y]++
+				s.marg[0][x]++
+				s.marg[1][y]++
 				if tail--; tail == 0 {
 					return
 				}
 			}
 			if dx > 0 {
 				if x := c[0] + dx; x >= 0 && x < w && !a.busy[row+x] {
-					a.margBuf[0][x]++
-					a.margBuf[1][y]++
+					s.marg[0][x]++
+					s.marg[1][y]++
 					if tail--; tail == 0 {
 						return
 					}
@@ -743,18 +777,18 @@ func (a *GenAlg) tailMarginals(c topo.Point, r, tail int) {
 			dx := rem - abs(dy)
 			row := zbase + y*w
 			if x := c[0] - dx; x >= 0 && x < w && !a.busy[row+x] {
-				a.margBuf[0][x]++
-				a.margBuf[1][y]++
-				a.margBuf[2][z]++
+				s.marg[0][x]++
+				s.marg[1][y]++
+				s.marg[2][z]++
 				if tail--; tail == 0 {
 					return
 				}
 			}
 			if dx > 0 {
 				if x := c[0] + dx; x >= 0 && x < w && !a.busy[row+x] {
-					a.margBuf[0][x]++
-					a.margBuf[1][y]++
-					a.margBuf[2][z]++
+					s.marg[0][x]++
+					s.marg[1][y]++
+					s.marg[2][z]++
 					if tail--; tail == 0 {
 						return
 					}

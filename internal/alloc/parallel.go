@@ -1,0 +1,153 @@
+package alloc
+
+import (
+	"sync"
+
+	"meshalloc/internal/topo"
+)
+
+// Parallel candidate scoring, layer 3 of the experiment fabric. The MC
+// and Gen-Alg candidate loops score every free processor against a
+// read-only snapshot of the machine (the busy bitmap and the occupancy
+// indexes are only mutated between Allocate calls, never during a
+// scan), so the loop shards cleanly: each worker scans one contiguous
+// chunk of the center range with a private incumbent, and the chunks
+// reduce in ascending order with a strict < comparison.
+//
+// Determinism contract: the sequential loops keep the FIRST strictly
+// better candidate, so among equal-cost candidates the lowest center id
+// wins. The chunked scan reproduces that exactly — a worker's local
+// incumbent is the lowest-id best of its chunk, and the in-order
+// strict-< reduction keeps the lowest-id best across chunks — so the
+// parallel scan returns the same (cost, center) pair as the sequential
+// scan for every machine state, and simulations are bit-identical at
+// any worker count. Only the wall clock changes.
+//
+// Parallel scoring is opt-in (SetParallelism, or sim.Config.AllocWorkers
+// through the engine); the default remains the sequential zero-alloc
+// loop. Only the indexed scorers shard — the naive reference scorers
+// share gather buffers across candidates and stay sequential.
+
+// ParallelScorer is implemented by allocators whose candidate scoring
+// loop can shard across worker goroutines without changing any result
+// bit. SetParallelism(1) (or less) restores the sequential loop.
+type ParallelScorer interface {
+	SetParallelism(workers int)
+}
+
+// SetParallelism bounds the number of goroutines scoring MC candidates.
+func (a *MC) SetParallelism(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	a.workers = workers
+}
+
+// SetParallelism bounds the number of goroutines scoring Gen-Alg
+// candidates, growing the pool of worker-private scoring scratches to
+// match.
+func (a *GenAlg) SetParallelism(workers int) {
+	if workers < 1 {
+		workers = 1
+	}
+	a.workers = workers
+	for len(a.parScratch) < workers {
+		a.parScratch = append(a.parScratch, newGenScratch(a.g))
+	}
+}
+
+// chunkBest is one worker's chunk result: the lowest-id best candidate
+// of its center range, or cost/center -1 when the chunk held none.
+type chunkBest struct {
+	cost   int
+	center int
+}
+
+// reduceChunks folds per-chunk incumbents in ascending chunk order with
+// strict <, electing the lowest-id candidate among global ties — the
+// same candidate the sequential scan keeps.
+func reduceChunks(res []chunkBest) (bestCost, bestCenter int) {
+	bestCost, bestCenter = -1, -1
+	for _, r := range res {
+		if r.cost == -1 {
+			continue
+		}
+		if bestCost == -1 || r.cost < bestCost {
+			bestCost, bestCenter = r.cost, r.center
+		}
+	}
+	return bestCost, bestCenter
+}
+
+// scanParallel shards MC's indexed candidate scan over a.workers
+// goroutines. Pruning via the local incumbent only changes how much
+// work a chunk does, never which candidate it elects, because countCost
+// reports the exact cost of every candidate that beats the incumbent.
+func (a *MC) scanParallel(ext topo.Point, size int) (bestCost, bestCenter int) {
+	n := a.g.Size()
+	workers := a.workers
+	if workers > n {
+		workers = n
+	}
+	res := make([]chunkBest, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			best := chunkBest{cost: -1, center: -1}
+			for center := lo; center < hi; center++ {
+				if a.busy[center] {
+					continue
+				}
+				cost, ok := a.countCost(a.g.Coord(center), ext, size, best.cost)
+				if !ok {
+					continue
+				}
+				if best.cost == -1 || cost < best.cost {
+					best = chunkBest{cost: cost, center: center}
+				}
+			}
+			res[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return reduceChunks(res)
+}
+
+// scanParallel shards Gen-Alg's indexed candidate scan over a.workers
+// goroutines, each scoring through its own genScratch. The radius hint
+// resets per chunk, which is harmless: ballCutoff's result is
+// independent of the hint, so scores do not depend on chunking.
+func (a *GenAlg) scanParallel(k int) (bestDist, bestCenter int) {
+	n := a.g.Size()
+	workers := a.workers
+	if workers > n {
+		workers = n
+	}
+	res := make([]chunkBest, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			s := &a.parScratch[w]
+			s.radius = 0
+			best := chunkBest{cost: -1, center: -1}
+			for center := lo; center < hi; center++ {
+				if a.busy[center] {
+					continue
+				}
+				d := a.countPairwise(s, center, k)
+				if best.cost == -1 || d < best.cost {
+					best = chunkBest{cost: d, center: center}
+				}
+			}
+			res[w] = best
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	return reduceChunks(res)
+}

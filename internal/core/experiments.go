@@ -19,49 +19,52 @@ func newTrace(o Options, maxSize int) *trace.Trace {
 	return tr.Truncate(o.Jobs).FilterMaxSize(maxSize)
 }
 
-// gridKey identifies one simulation in a response-time grid.
+// gridKey identifies one cell in a response-time grid; replications are
+// not part of the key — the sweep runner shards them underneath.
 type gridKey struct {
 	allocSpec string
 	pattern   string
 	load      float64
-	rep       int
 }
 
 // responseFigure runs the 9-allocator x loads grid for each pattern on a
 // w x h mesh and assembles the response-time-versus-load figure
 // (Figures 7 and 8 of the paper). With Options.Replications > 1, every
-// cell runs once per seed (each replication also redraws the synthetic
-// trace) and the series carry mean ± standard deviation.
+// cell runs once per derived replication stream (each replication also
+// redraws the synthetic trace from its RepSeed) and the series carry
+// mean ± standard deviation, reduced in replication order so the figure
+// is bit-identical at any Parallelism.
 func responseFigure(id, title string, w, h int, o Options) (*Figure, error) {
 	o = o.withDefaults()
 	loads := sortedLoadsDescending(o.Loads)
 	traces := make([]*trace.Trace, o.Replications)
-	for r := range traces {
+	if err := forEachShard(o.Replications, o.Parallelism, func(r int) error {
 		ro := o
-		ro.Seed = o.Seed + int64(r)
+		ro.Seed = RepSeed(o.Seed, r)
 		traces[r] = newTrace(ro, w*h)
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 
 	var keys []gridKey
 	for _, p := range responsePatterns {
 		for _, a := range alloc.Specs() {
 			for _, l := range loads {
-				for r := 0; r < o.Replications; r++ {
-					keys = append(keys, gridKey{allocSpec: a, pattern: p, load: l, rep: r})
-				}
+				keys = append(keys, gridKey{allocSpec: a, pattern: p, load: l})
 			}
 		}
 	}
-	results, err := runGrid(keys, o.Parallelism, func(k gridKey) (*sim.Result, error) {
+	results, err := runSweep(keys, o, func(k gridKey, rep int, seed int64) (*sim.Result, error) {
 		cfg := sim.Config{
 			MeshW: w, MeshH: h,
 			Alloc:     k.allocSpec,
 			Pattern:   k.pattern,
 			Load:      k.load,
 			TimeScale: o.TimeScale,
-			Seed:      o.Seed + int64(k.rep),
+			Seed:      seed,
 		}
-		return sim.Run(cfg, traces[k.rep])
+		return sim.Run(cfg, traces[rep])
 	})
 	if err != nil {
 		return nil, err
@@ -73,8 +76,8 @@ func responseFigure(id, title string, w, h int, o Options) (*Figure, error) {
 			s := Series{Label: fmt.Sprintf("%s %s", p, a)}
 			for _, l := range loads {
 				var ys []float64
-				for r := 0; r < o.Replications; r++ {
-					ys = append(ys, results[gridKey{allocSpec: a, pattern: p, load: l, rep: r}].MeanResponse)
+				for _, r := range results[gridKey{allocSpec: a, pattern: p, load: l}] {
+					ys = append(ys, r.MeanResponse)
 				}
 				s.X = append(s.X, l)
 				s.Y = append(s.Y, stats.Mean(ys))

@@ -12,7 +12,6 @@ import (
 	"sort"
 	"strconv"
 	"strings"
-	"sync"
 )
 
 // Series is one plotted line: Y versus X, labeled by the allocator or
@@ -170,9 +169,12 @@ type Options struct {
 	// Loads are the arrival contraction factors; nil means the paper's
 	// {1, 0.8, 0.6, 0.4, 0.2}.
 	Loads []float64
-	// Parallelism caps concurrent simulations; 0 means GOMAXPROCS.
+	// Parallelism caps concurrent simulations across the whole sweep —
+	// grid cells and replications share one worker pool — without ever
+	// changing a result bit (see sweep.go); 0 means GOMAXPROCS.
 	Parallelism int
-	// Replications repeats every simulation with consecutive seeds and
+	// Replications repeats every simulation with independent derived
+	// RNG streams (RepSeed; replication 0 keeps Seed itself) and
 	// reports mean and standard deviation; 0 means 1 (single run, as in
 	// the paper).
 	Replications int
@@ -210,35 +212,26 @@ func FullOptions() Options {
 	return Options{Jobs: 6087}
 }
 
-// runGrid executes fn over the cross product of keys in parallel and
-// returns results keyed the same way; any error aborts the grid.
+// runGrid executes fn over keys on the shared shard pool (see sweep.go)
+// and returns results keyed the same way; any error aborts the grid.
+// The single-replication special case of runSweep, kept for grids whose
+// cells carry no replication dimension.
 func runGrid[K comparable, V any](keys []K, parallelism int, fn func(K) (V, error)) (map[K]V, error) {
-	type kv struct {
-		k   K
-		v   V
-		err error
-	}
-	sem := make(chan struct{}, parallelism)
-	out := make(chan kv, len(keys))
-	var wg sync.WaitGroup
-	for _, k := range keys {
-		wg.Add(1)
-		go func(k K) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			v, err := fn(k)
-			out <- kv{k: k, v: v, err: err}
-		}(k)
-	}
-	wg.Wait()
-	close(out)
-	res := make(map[K]V, len(keys))
-	for e := range out {
-		if e.err != nil {
-			return nil, e.err
+	vals := make([]V, len(keys))
+	err := forEachShard(len(keys), parallelism, func(i int) error {
+		v, err := fn(keys[i])
+		if err != nil {
+			return err
 		}
-		res[e.k] = e.v
+		vals[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := make(map[K]V, len(keys))
+	for i, k := range keys {
+		res[k] = vals[i]
 	}
 	return res, nil
 }

@@ -18,6 +18,14 @@ import (
 // aggregation layer. The first fifth of the jobs are warmup and are
 // excluded from the response statistics; utilization and queue length
 // integrate over the whole run.
+//
+// With Options.Replications > 1 the sweep runner fans each (allocator,
+// load) point out over independent replication streams (derived seeds
+// drive both the Poisson source and the simulator) and the streaming
+// aggregates merge across replications in index order: Welford.Merge
+// pools the means exactly, MergeQuantile interpolates the per-shard P²
+// medians, and utilization and queue length average arithmetically.
+// One replication reproduces the unsharded table bit for bit.
 func ExtSteady(o Options) (*Figure, error) {
 	o = o.withDefaults()
 	const (
@@ -32,6 +40,12 @@ func ExtSteady(o Options) (*Figure, error) {
 		spec string
 		rho  float64
 	}
+	type shard struct {
+		mean     stats.Welford
+		median   *stats.P2Quantile
+		util     float64
+		queueLen float64
+	}
 	type outcome struct {
 		mean     float64
 		median   float64
@@ -44,51 +58,67 @@ func ExtSteady(o Options) (*Figure, error) {
 			keys = append(keys, key{spec, rho})
 		}
 	}
-	results, err := runGrid(keys, o.Parallelism, func(k key) (outcome, error) {
+	sweep, err := runSweep(keys, o, func(k key, rep int, seed int64) (shard, error) {
 		cfg := sim.Config{
 			MeshW: machineW, MeshH: machineH,
 			Alloc:       k.spec,
 			Pattern:     "nbody",
 			TimeScale:   o.TimeScale,
-			Seed:        o.Seed,
+			Seed:        seed,
 			Scheduler:   o.Scheduler,
 			KeepRecords: sim.Discard,
 			KeepNodes:   sim.Discard,
 		}
 		e, err := sim.NewEngine(cfg)
 		if err != nil {
-			return outcome{}, err
+			return shard{}, err
 		}
 		// Offered load rho: one job every meanWork/(rho*capacity) sec.
 		meanInter := meanWork / (k.rho * float64(machineW*machineH))
-		src := trace.Limit(trace.NewPoisson(meanInter, machineW*machineH, o.Seed), o.Jobs)
+		src := trace.Limit(trace.NewPoisson(meanInter, machineW*machineH, seed), o.Jobs)
 		warmup := o.Jobs / 5
-		var (
-			seen   int
-			mean   stats.Welford
-			median = stats.NewP2Quantile(0.5)
-		)
+		sh := shard{median: stats.NewP2Quantile(0.5)}
+		var seen int
 		e.Observe(func(r sim.JobRecord) {
 			seen++
 			if seen <= warmup {
 				return
 			}
-			mean.Add(r.Response)
-			median.Add(r.Response)
+			sh.mean.Add(r.Response)
+			sh.median.Add(r.Response)
 		})
 		if err := e.RunSource(src, 0); err != nil {
-			return outcome{}, err
+			return shard{}, err
 		}
 		res := e.Result()
-		return outcome{
-			mean:     mean.Mean(),
-			median:   median.Value(),
-			util:     res.UtilizationPct,
-			queueLen: res.MeanQueueLen,
-		}, nil
+		sh.util = res.UtilizationPct
+		sh.queueLen = res.MeanQueueLen
+		return sh, nil
 	})
 	if err != nil {
 		return nil, err
+	}
+
+	// Reduce each point's replication shards in index order: the merge
+	// is deterministic, so the table is bit-stable at any Parallelism.
+	results := make(map[key]outcome, len(keys))
+	for _, k := range keys {
+		var (
+			mean    stats.Welford
+			medians []*stats.P2Quantile
+			out     outcome
+		)
+		for _, sh := range sweep[k] {
+			mean.Merge(sh.mean)
+			medians = append(medians, sh.median)
+			out.util += sh.util
+			out.queueLen += sh.queueLen
+		}
+		out.mean = mean.Mean()
+		out.median = stats.MergeQuantile(0.5, medians)
+		out.util /= float64(len(sweep[k]))
+		out.queueLen /= float64(len(sweep[k]))
+		results[k] = out
 	}
 
 	t := Table{Columns: []string{
@@ -116,6 +146,11 @@ func ExtSteady(o Options) (*Figure, error) {
 			"streaming aggregation (Welford mean, P² median): no per-job records retained",
 			"contention inflates service beyond the nominal runtime, so a high offered load can be unsustainable — the mean response then grows with the job count and ranks allocators by sustainable throughput",
 		},
+	}
+	if o.Replications > 1 {
+		fig.Notes = append(fig.Notes, fmt.Sprintf(
+			"%d replications per point on derived RNG streams; means pooled by Welford merge, medians by weighted P² marker interpolation",
+			o.Replications))
 	}
 	// Headline note: the contention gap between the best and worst
 	// allocator at the highest swept load.

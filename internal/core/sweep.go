@@ -1,0 +1,128 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The parallel experiment fabric, layer 1: Monte-Carlo sweeps shard
+// their work — grid cells times replications — across a bounded worker
+// pool, with each replication drawing its randomness from an RNG stream
+// derived only from (base seed, replication index). Workers pull shard
+// indexes from an atomic counter and write results into per-shard
+// slots, so the output is a pure function of the inputs: the worker
+// count and the OS schedule change only the wall clock, never a bit of
+// the result. Reductions over shards (means, Welford/quantile merges)
+// always run on the caller's goroutine in shard-index order, which is
+// what makes the parallel figures bit-identical to the sequential ones.
+
+// RepSeed derives the RNG seed of replication rep from the sweep's base
+// seed with a splitmix64-style hash, so every replication gets an
+// independent, well-separated stream no matter how replications are
+// scheduled across workers. Replication 0 keeps the base seed itself:
+// a single-replication sweep is bit-identical to the paper's unsharded
+// single-seed runs.
+func RepSeed(base int64, rep int) int64 {
+	if rep == 0 {
+		return base
+	}
+	z := uint64(base) + uint64(rep)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// forEachShard runs body(i) for every i in [0, n) on min(workers, n)
+// goroutines pulling shard indexes from a shared counter. It returns
+// the error of the lowest-indexed failing shard, or nil. The pool
+// always drains before the call returns — an error stops workers from
+// pulling new shards, but every started shard finishes and every
+// goroutine exits, so the runner never leaks goroutines on early exit.
+func forEachShard(n, workers int, body func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: no goroutines, same iteration order.
+		for i := 0; i < n; i++ {
+			if err := body(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		mu     sync.Mutex
+		wg     sync.WaitGroup
+		errAt  = -1
+		err    error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || failed.Load() {
+					return
+				}
+				if e := body(i); e != nil {
+					failed.Store(true)
+					mu.Lock()
+					if errAt < 0 || i < errAt {
+						errAt, err = i, e
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return err
+}
+
+// runSweep executes fn over the cross product of keys and
+// o.Replications on one worker pool bounded by o.Parallelism, and
+// returns results[key][rep]. Each (key, rep) cell receives the seed
+// RepSeed(o.Seed, rep) — the same derived stream for every key of a
+// replication, mirroring how the paper reuses one seed across a
+// figure's grid — so the result depends only on (keys, o.Seed,
+// o.Replications, fn). Callers reduce the per-key slices in
+// replication order to keep the whole figure bit-stable under any
+// worker count.
+func runSweep[K comparable, V any](keys []K, o Options, fn func(k K, rep int, seed int64) (V, error)) (map[K][]V, error) {
+	reps := o.Replications
+	if reps < 1 {
+		reps = 1
+	}
+	vals := make([][]V, len(keys))
+	for i := range vals {
+		vals[i] = make([]V, reps)
+	}
+	err := forEachShard(len(keys)*reps, o.Parallelism, func(i int) error {
+		ki, rep := i/reps, i%reps
+		v, err := fn(keys[ki], rep, RepSeed(o.Seed, rep))
+		if err != nil {
+			return err
+		}
+		vals[ki][rep] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := make(map[K][]V, len(keys))
+	for i, k := range keys {
+		res[k] = vals[i]
+	}
+	return res, nil
+}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The fabric's determinism suite: figures rendered from parallel sweeps
+// must be byte-identical to sequential ones, replication seeds must not
+// depend on scheduling, and the worker pool must drain cleanly on
+// error.
+
+// renderFigure runs build and returns the rendered bytes.
+func renderFigure(t *testing.T, build func() (*Figure, error)) []byte {
+	t.Helper()
+	fig, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepParallelismIsByteIdentical pins the fabric's core promise on
+// a replicated figure grid: Parallelism 1 and 8 render the same bytes.
+func TestSweepParallelismIsByteIdentical(t *testing.T) {
+	opt := Options{Jobs: 60, TimeScale: 0.01, Seed: 1, Loads: []float64{0.4}, Replications: 3}
+	opt.Parallelism = 1
+	seq := renderFigure(t, func() (*Figure, error) { return Fig7(opt) })
+	for _, p := range []int{2, 8} {
+		opt.Parallelism = p
+		if par := renderFigure(t, func() (*Figure, error) { return Fig7(opt) }); !bytes.Equal(seq, par) {
+			t.Fatalf("Fig7 output differs between -parallel 1 and %d:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				p, seq, par)
+		}
+	}
+}
+
+// TestExtSteadyParallelismIsByteIdentical covers the streaming-merge
+// reduction path: replicated ExtSteady tables (Welford merge, quantile
+// merge) must not move a byte under parallel execution.
+func TestExtSteadyParallelismIsByteIdentical(t *testing.T) {
+	opt := Options{Jobs: 90, TimeScale: 0.01, Seed: 1, Replications: 3}
+	opt.Parallelism = 1
+	seq := renderFigure(t, func() (*Figure, error) { return ExtSteady(opt) })
+	opt.Parallelism = 8
+	if par := renderFigure(t, func() (*Figure, error) { return ExtSteady(opt) }); !bytes.Equal(seq, par) {
+		t.Fatalf("ExtSteady output differs between -parallel 1 and 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+			seq, par)
+	}
+}
+
+// TestExtSteadySingleRepUnchanged pins backward compatibility: one
+// replication reproduces the pre-fabric unsharded table (the reduction
+// path through Merge/MergeQuantile must be exact for a single shard).
+func TestExtSteadySingleRepUnchanged(t *testing.T) {
+	opt := Options{Jobs: 90, TimeScale: 0.01, Seed: 1}
+	one := renderFigure(t, func() (*Figure, error) { return ExtSteady(opt) })
+	opt.Replications = 1
+	opt.Parallelism = 4
+	if got := renderFigure(t, func() (*Figure, error) { return ExtSteady(opt) }); !bytes.Equal(one, got) {
+		t.Fatalf("explicit Replications=1 changed the table:\n%s\nvs\n%s", one, got)
+	}
+}
+
+func TestRepSeedProperties(t *testing.T) {
+	if RepSeed(42, 0) != 42 {
+		t.Fatal("replication 0 must keep the base seed (single-rep bit compatibility)")
+	}
+	seen := map[int64]int{}
+	for _, base := range []int64{1, 42, -7, 1 << 40} {
+		for rep := 0; rep < 100; rep++ {
+			s := RepSeed(base, rep)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("seed collision: RepSeed(%d,%d) == earlier seed %d", base, rep, prev)
+			}
+			seen[s] = rep
+		}
+	}
+	// The derivation is a pure function of (base, rep): calling it from
+	// any worker at any time gives the same stream.
+	if RepSeed(1, 3) != RepSeed(1, 3) {
+		t.Fatal("RepSeed is not deterministic")
+	}
+}
+
+// TestForEachShardCoversAllOnce checks every shard runs exactly once at
+// any worker count.
+func TestForEachShardCoversAllOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		const n = 200
+		var hits [n]atomic.Int32
+		if err := forEachShard(n, workers, func(i int) error {
+			hits[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: shard %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+// TestForEachShardErrorDrains checks an error stops the pool, surfaces
+// the lowest-indexed failure, and leaks no goroutines — the runner's
+// early-exit contract.
+func TestForEachShardErrorDrains(t *testing.T) {
+	errBoom := errors.New("boom")
+	base := runtime.NumGoroutine()
+	err := forEachShard(100, 8, func(i int) error {
+		if i%10 == 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("got %v, want %v", err, errBoom)
+	}
+	// The sequential path fails at the first failing shard; the parallel
+	// path reports the lowest-indexed failure among started shards. Both
+	// must leave zero pool goroutines behind.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= base {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if now := runtime.NumGoroutine(); now > base {
+		t.Fatalf("pool leaked goroutines: %d before, %d after", base, now)
+	}
+
+	// Sequential error path: exact first failure.
+	err = forEachShard(10, 1, func(i int) error {
+		if i >= 4 {
+			return errors.New("later")
+		}
+		if i == 3 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("sequential: got %v, want first error %v", err, errBoom)
+	}
+}
+
+// TestRunSweepSeedsIndependentOfWorkers checks the (key, rep) → seed
+// assignment is a pure function of the options: the fabric may run
+// shards in any order on any worker without moving a seed.
+func TestRunSweepSeedsIndependentOfWorkers(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	collect := func(parallelism int) map[string][]int64 {
+		o := Options{Seed: 11, Replications: 4, Parallelism: parallelism}
+		res, err := runSweep(keys, o, func(k string, rep int, seed int64) (int64, error) {
+			return seed, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := collect(1)
+	for _, p := range []int{2, 8} {
+		got := collect(p)
+		for _, k := range keys {
+			for rep := range want[k] {
+				if got[k][rep] != want[k][rep] {
+					t.Fatalf("parallelism %d moved seed of (%s, rep %d): %d != %d",
+						p, k, rep, got[k][rep], want[k][rep])
+				}
+				if want[k][rep] != RepSeed(11, rep) {
+					t.Fatalf("(%s, rep %d) got seed %d, want RepSeed(11,%d)=%d",
+						k, rep, want[k][rep], rep, RepSeed(11, rep))
+				}
+			}
+		}
+	}
+}

@@ -198,6 +198,11 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.AllocWorkers > 1 {
+		if ps, ok := allocator.(alloc.ParallelScorer); ok {
+			ps.SetParallelism(cfg.AllocWorkers)
+		}
+	}
 	pattern, err := comm.ByName(cfg.Pattern)
 	if err != nil {
 		return nil, err

@@ -118,6 +118,13 @@ type Config struct {
 	// (Keep, default). Discard skips the per-job copy; dispersal
 	// metrics (AvgPairwise, Components) are computed either way.
 	KeepNodes KeepPolicy
+	// AllocWorkers shards the allocator's candidate-scoring loop over
+	// this many goroutines when the allocator supports it (MC, MC1x1 and
+	// Gen-Alg on their indexed paths). The parallel scan is bit-identical
+	// to the sequential one — the lowest-id candidate wins ties either
+	// way — so this knob only trades goroutines for wall clock. 0 or 1
+	// keeps the sequential loop; other allocators ignore it.
+	AllocWorkers int
 }
 
 // withDefaults fills zero fields with the paper-experiment defaults.
