@@ -44,6 +44,17 @@ type benchEntry struct {
 	Value     float64 `json:"value"`
 }
 
+// benchHost describes the machine a BENCH_*.json artifact was produced
+// on, so single-core results (where parallel speedups are honestly ~1x)
+// are self-describing. See BENCH.md for the schema.
+type benchHost struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+}
+
 var benchJSON struct {
 	mu      sync.Mutex
 	entries []benchEntry
@@ -80,7 +91,20 @@ func TestMain(m *testing.M) {
 				}
 				return entries[i].Metric < entries[j].Metric
 			})
-			out, err := json.MarshalIndent(entries, "", "  ")
+			doc := struct {
+				Host    benchHost    `json:"host"`
+				Entries []benchEntry `json:"entries"`
+			}{
+				Host: benchHost{
+					GoVersion:  runtime.Version(),
+					GOOS:       runtime.GOOS,
+					GOARCH:     runtime.GOARCH,
+					GOMAXPROCS: runtime.GOMAXPROCS(0),
+					NumCPU:     runtime.NumCPU(),
+				},
+				Entries: entries,
+			}
+			out, err := json.MarshalIndent(doc, "", "  ")
 			if err == nil {
 				err = os.WriteFile(path, append(out, '\n'), 0o644)
 			}
@@ -647,6 +671,125 @@ func BenchmarkAllocateLarge(b *testing.B) {
 				}
 				reportMetric(b, "ns_per_alloc", float64(b.Elapsed().Nanoseconds())/float64(b.N))
 			})
+		}
+	}
+}
+
+// prefillPacker drives a bin-packer to the same ~80% mixed occupancy as
+// prefillAllocator, leaving scattered mixed-size holes in curve-rank
+// space so interval enumeration crosses many free runs.
+func prefillPacker(b *testing.B, p *binpack.Packer, total int) {
+	b.Helper()
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	var live [][]int
+	for p.NumFree() > total*3/100 {
+		size := 1 + next(32)
+		if size > p.NumFree() {
+			size = p.NumFree()
+		}
+		ids, err := p.Allocate(size, binpack.FirstFit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		live = append(live, ids)
+	}
+	for i := 0; i < len(live); i += 5 {
+		p.Release(live[i])
+	}
+}
+
+// BenchmarkBitsetScan times first-fit and best-fit candidate enumeration
+// over the word-parallel bitset free map against the retained naive
+// rank-by-rank walk, at mixed occupancy on 32x32 and 16x16x16 machines.
+// The speedup_word_vs_naive metric in BENCH_7.json is PR 7's >= 3x
+// acceptance bar (see BENCH.md).
+func BenchmarkBitsetScan(b *testing.B) {
+	machines := []struct {
+		name string
+		dims []int
+	}{
+		{"32x32", []int{32, 32}},
+		{"16x16x16", []int{16, 16, 16}},
+	}
+	for _, m := range machines {
+		order, err := curve.GridOrder(curve.Hilbert{}, m.dims)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, strat := range []binpack.Strategy{binpack.FirstFit, binpack.BestFit} {
+			var wall [2]float64
+			for vi, variant := range []string{"word", "naive"} {
+				b.Run(fmt.Sprintf("%s/%s/%s", m.name, strat, variant), func(b *testing.B) {
+					p := binpack.New(order)
+					p.SetWordScan(variant == "word")
+					prefillPacker(b, p, len(order))
+					// A small request keeps the shared Allocate/Release
+					// bookkeeping (id slice, rank marking) from drowning
+					// out the interval enumeration under measurement.
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						ids, err := p.Allocate(8, strat)
+						if err != nil {
+							b.Fatal(err)
+						}
+						p.Release(ids)
+					}
+					wall[vi] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					reportMetric(b, "ns_per_alloc", wall[vi])
+					if vi == 1 && wall[1] > 0 {
+						reportMetric(b, "speedup_word_vs_naive", wall[1]/wall[0])
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkIncrementalMC times the MC scorer's same-size steady state —
+// the workload where cached candidate scores survive between jobs — with
+// the incremental score cache on versus the full per-event rescan (the
+// PR 3 index path). Both runs allocate bit-identically; only the share
+// of candidates rescored per event differs (BENCH_7.json; see BENCH.md).
+func BenchmarkIncrementalMC(b *testing.B) {
+	machines := []struct {
+		name string
+		dims []int
+	}{
+		{"32x32", []int{32, 32}},
+		{"16x16x16", []int{16, 16, 16}},
+	}
+	for _, m := range machines {
+		for _, size := range []int{16, 64} {
+			var wall [2]float64
+			for vi, variant := range []string{"cached", "rescan"} {
+				b.Run(fmt.Sprintf("%s/size%d/%s", m.name, size, variant), func(b *testing.B) {
+					g := topo.New(m.dims)
+					a := alloc.NewMC(g)
+					if variant == "rescan" {
+						a.SetScoreCache(false)
+					}
+					prefillAllocator(b, a, g.Size())
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						ids, err := a.Allocate(alloc.Request{Size: size})
+						if err != nil {
+							b.Fatal(err)
+						}
+						a.Release(ids)
+					}
+					wall[vi] = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+					reportMetric(b, "ns_per_alloc", wall[vi])
+					if vi == 1 && wall[1] > 0 {
+						reportMetric(b, "speedup_cached_vs_rescan", wall[1]/wall[0])
+					}
+				})
+			}
 		}
 	}
 }

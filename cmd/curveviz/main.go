@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"meshalloc/internal/curve"
 )
@@ -34,7 +35,8 @@ func main() {
 	}
 	c, err := curve.ByName(*name)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "curveviz:", err)
+		fmt.Fprintf(os.Stderr, "curveviz: %v\nvalid -curve values: %s (or proj2d-<curve>)\n",
+			err, strings.Join(curve.All(), ", "))
 		os.Exit(1)
 	}
 	order := c.Order(w, h)

@@ -19,26 +19,42 @@ import (
 
 	"meshalloc/internal/core"
 	"meshalloc/internal/plot"
+	"meshalloc/internal/sched"
 )
 
 func main() {
 	var (
-		figID    = flag.String("fig", "", "figure to regenerate (1, 6, 7, 8, 9, 10, 11, or an ext-* id); empty = all paper figures")
-		jobs     = flag.Int("jobs", 0, "synthetic trace length (0 = scaled default)")
-		scale    = flag.Float64("timescale", 0, "trace time contraction (0 = default 0.02)")
-		seed     = flag.Int64("seed", 1, "random seed")
-		full     = flag.Bool("full", false, "replay the full 6087-job trace (slow)")
-		parallel = flag.Int("parallel", 0, "max concurrent simulations; grid cells and replications share one worker pool and output is identical at any value (0 = GOMAXPROCS)")
-		reps     = flag.Int("reps", 1, "replications per configuration on independent derived RNG streams (mean ± sd across seeds)")
-		ext      = flag.Bool("ext", false, "also run the extension experiments (ext-contiguous, ext-scheduler, ext-routing, ext-mixed, ext-cube, ext-cube3d, ext-steady)")
-		sched    = flag.String("sched", "", "scheduling policy for extension runs (fcfs, easy or sjf; empty = each experiment's default)")
-		csvDir   = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
-		doPlot   = flag.Bool("plot", false, "render ASCII charts for figures with series data")
-		check    = flag.Bool("check", false, "run the reproduction scorecard instead of figures")
+		figID     = flag.String("fig", "", "figure to regenerate (1, 6, 7, 8, 9, 10, 11, or an ext-* id); empty = all paper figures")
+		jobs      = flag.Int("jobs", 0, "synthetic trace length (0 = scaled default)")
+		scale     = flag.Float64("timescale", 0, "trace time contraction (0 = default 0.02)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		full      = flag.Bool("full", false, "replay the full 6087-job trace (slow)")
+		parallel  = flag.Int("parallel", 0, "max concurrent simulations; grid cells and replications share one worker pool and output is identical at any value (0 = GOMAXPROCS)")
+		reps      = flag.Int("reps", 1, "replications per configuration on independent derived RNG streams (mean ± sd across seeds)")
+		ext       = flag.Bool("ext", false, "also run the extension experiments (ext-contiguous, ext-scheduler, ext-routing, ext-mixed, ext-cube, ext-cube3d, ext-steady)")
+		schedName = flag.String("sched", "", "scheduling policy for extension runs (fcfs, easy or sjf; empty = each experiment's default)")
+		csvDir    = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
+		doPlot    = flag.Bool("plot", false, "render ASCII charts for figures with series data")
+		check     = flag.Bool("check", false, "run the reproduction scorecard instead of figures")
 	)
 	flag.Parse()
 
-	opt := core.Options{Jobs: *jobs, TimeScale: *scale, Seed: *seed, Parallelism: *parallel, Replications: *reps, Scheduler: *sched}
+	// Reject typo'd -fig and -sched values up front with the list of
+	// valid names: a silently defaulted or late-failing value masks the
+	// typo in sweep scripts.
+	if *figID != "" && !validFigID(*figID) {
+		fmt.Fprintf(os.Stderr, "experiments: unknown figure %q\nvalid -fig values: %s (or figN), %s\n",
+			*figID, strings.Join(core.AllFigureIDs(), ", "), strings.Join(core.AllExtensionIDs(), ", "))
+		os.Exit(1)
+	}
+	if *schedName != "" {
+		if _, err := sched.ByName(*schedName); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v (valid -sched values: fcfs, easy, sjf)\n", err)
+			os.Exit(1)
+		}
+	}
+
+	opt := core.Options{Jobs: *jobs, TimeScale: *scale, Seed: *seed, Parallelism: *parallel, Replications: *reps, Scheduler: *schedName}
 	if *full {
 		opt.Jobs = 6087
 	}
@@ -87,6 +103,22 @@ func main() {
 		}
 		fmt.Printf("(%s regenerated in %v)\n\n", fig.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// validFigID reports whether id names a paper figure ("7" or "fig7") or
+// an extension experiment ("ext-*").
+func validFigID(id string) bool {
+	for _, f := range core.AllFigureIDs() {
+		if id == f || id == "fig"+f {
+			return true
+		}
+	}
+	for _, e := range core.AllExtensionIDs() {
+		if id == e {
+			return true
+		}
+	}
+	return false
 }
 
 // runExperiment dispatches paper figures and extension experiments.

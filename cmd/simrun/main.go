@@ -23,9 +23,12 @@ import (
 	"strconv"
 	"strings"
 
+	"meshalloc/internal/alloc"
+	"meshalloc/internal/curve"
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/metrics"
 	"meshalloc/internal/netsim"
+	"meshalloc/internal/sched"
 	"meshalloc/internal/sim"
 	"meshalloc/internal/topo"
 	"meshalloc/internal/trace"
@@ -63,6 +66,17 @@ func main() {
 	size := 1
 	for _, d := range dims {
 		size *= d
+	}
+
+	// Reject a typo'd -alloc or -sched up front with a usage error that
+	// lists the valid names, before any trace is synthesized or replayed:
+	// in sweep scripts a late failure (or a silently defaulted value)
+	// masks the typo.
+	if _, err := alloc.Spec(topo.New(dims), *allocSpec, *seed); err != nil {
+		fatal(fmt.Errorf("%v\n%s", err, allocUsage()))
+	}
+	if _, err := sched.ByName(*scheduler); err != nil {
+		fatal(fmt.Errorf("%v (valid -sched values: fcfs, easy, sjf)", err))
 	}
 
 	cfg := sim.Config{
@@ -343,6 +357,19 @@ func parseMesh(s string) ([]int, error) {
 		dims[i] = d
 	}
 	return dims, nil
+}
+
+// allocUsage lists the valid -alloc spec forms and the registry names
+// they can be built from, so a rejected spec is a one-stop fix.
+func allocUsage() string {
+	return fmt.Sprintf(`valid -alloc forms:
+  mc | mc1x1 | genalg | random | submesh | buddy
+  <curve>                       Paging with a sorted free list
+  <curve>/<strategy>            Paging with a bin-packing strategy
+  <curve>/<strategy>/page<s>    Lo et al.'s Paging with 2^s-sided pages
+curves: %s, optcurve, or proj2d-<curve> (2-D projection on n-D grids)
+strategies: freelist, firstfit, bestfit, sumofsquares, worstfit, nextfit`,
+		strings.Join(curve.All(), ", "))
 }
 
 func fatal(err error) {

@@ -1,0 +1,139 @@
+package alloc
+
+import (
+	"testing"
+
+	"meshalloc/internal/topo"
+)
+
+// batchVariants are the exact-size allocator families that implement
+// BatchAllocator, each built twice so a batch run can be compared against
+// a one-at-a-time twin.
+var batchVariants = []struct {
+	name string
+	mk   func() Allocator
+}{
+	{"mc", func() Allocator { return NewMC(topo.New([]int{8, 8})) }},
+	{"mc1x1", func() Allocator { return NewMC1x1(topo.New([]int{8, 8})) }},
+	{"genalg", func() Allocator { return NewGenAlg(topo.New([]int{8, 8})) }},
+	{"random", func() Allocator { return NewRandom(topo.New([]int{8, 8}), 7) }},
+	{"hilbert/bestfit", func() Allocator {
+		a, err := Spec(topo.New([]int{8, 8}), "hilbert/bestfit", 0)
+		if err != nil {
+			panic(err)
+		}
+		return a
+	}},
+	{"mc-3d", func() Allocator { return NewMC(topo.New([]int{4, 4, 4})) }},
+}
+
+// TestAllocateBatchMatchesSequential interleaves batches and releases on
+// a batch allocator and a sequential twin: identical ids and free counts
+// throughout.
+func TestAllocateBatchMatchesSequential(t *testing.T) {
+	for _, v := range batchVariants {
+		t.Run(v.name, func(t *testing.T) {
+			a, b := v.mk(), v.mk()
+			ba, ok := a.(BatchAllocator)
+			if !ok {
+				t.Fatalf("%s does not implement BatchAllocator", v.name)
+			}
+			x := xorshift(11)
+			var live [][]int
+			for round := 0; round < 30; round++ {
+				if free := a.NumFree(); free > 0 && (len(live) == 0 || x.intn(3) != 0) {
+					var reqs []Request
+					budget := free
+					for len(reqs) < 1+x.intn(4) && budget > 0 {
+						size := 1 + x.intn(min(budget, 9))
+						reqs = append(reqs, Request{Size: size})
+						budget -= size
+					}
+					got, err := ba.AllocateBatch(reqs)
+					if err != nil {
+						t.Fatalf("round %d: batch error %v", round, err)
+					}
+					if len(got) != len(reqs) {
+						t.Fatalf("round %d: %d results for %d requests", round, len(got), len(reqs))
+					}
+					for i, r := range reqs {
+						want, err := b.Allocate(r)
+						if err != nil {
+							t.Fatalf("round %d: sequential twin error %v", round, err)
+						}
+						if !sameIDs(got[i], want) {
+							t.Fatalf("round %d req %d: batch ids %v, sequential %v", round, i, got[i], want)
+						}
+						live = append(live, got[i])
+					}
+				} else if len(live) > 0 {
+					i := x.intn(len(live))
+					a.Release(live[i])
+					b.Release(live[i])
+					live = append(live[:i], live[i+1:]...)
+				}
+				if a.NumFree() != b.NumFree() {
+					t.Fatalf("round %d: NumFree %d vs %d", round, a.NumFree(), b.NumFree())
+				}
+			}
+		})
+	}
+}
+
+// TestAllocateBatchErrorPrefix pins the failure contract: the successful
+// prefix is returned alongside the error and remains allocated.
+func TestAllocateBatchErrorPrefix(t *testing.T) {
+	a := NewMC(topo.New([]int{4, 4}))
+	got, err := a.AllocateBatch([]Request{{Size: 6}, {Size: 6}, {Size: 6}})
+	if err != ErrInsufficient {
+		t.Fatalf("error = %v, want ErrInsufficient", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("prefix length %d, want 2", len(got))
+	}
+	if a.NumFree() != 16-12 {
+		t.Fatalf("NumFree = %d after failed batch, want 4 (prefix stays allocated)", a.NumFree())
+	}
+}
+
+// TestBatchHelperFallsBack routes a non-batch allocator (the contiguous
+// submesh baseline) through Batch and checks it matches plain Allocates.
+func TestBatchHelperFallsBack(t *testing.T) {
+	g := topo.New([]int{8, 8})
+	mk := func() Allocator {
+		a, err := Spec(g, "submesh", 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	a, b := mk(), mk()
+	if _, ok := a.(BatchAllocator); ok {
+		t.Fatal("submesh unexpectedly implements BatchAllocator; its refusal semantics break the batch contract")
+	}
+	reqs := []Request{{Size: 4}, {Size: 9}, {Size: 2}}
+	got, err := Batch(a, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range reqs {
+		want, err := b.Allocate(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameIDs(got[i], want) {
+			t.Fatalf("req %d: Batch ids %v, sequential %v", i, got[i], want)
+		}
+	}
+	// Buddy and paged allocators must stay outside the interface too:
+	// they consume more processors than req.Size.
+	for _, spec := range []string{"buddy", "hilbert/freelist/page1"} {
+		a, err := Spec(g, spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := a.(BatchAllocator); ok {
+			t.Fatalf("%s unexpectedly implements BatchAllocator", spec)
+		}
+	}
+}

@@ -2,8 +2,10 @@ package alloc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"meshalloc/internal/mesh"
+	"meshalloc/internal/occupancy"
 )
 
 // The paper's Section 2 recounts that initial processor-allocation
@@ -19,15 +21,85 @@ import (
 // submesh of the request's shape (trying both orientations). It is
 // inherently two-dimensional and keeps a mesh view beside the generic
 // busy tracker.
+//
+// The free-box search is word-parallel by default: each mesh row keeps a
+// free bitmask, a per-row RunMask marks every x where a horizontal run of
+// the shape's width starts, and ANDing h consecutive rows' masks leaves
+// exactly the anchors of fully-free w x h submeshes — the first set bit is
+// the same anchor the cell-by-cell reference scan finds, 64 anchors per
+// instruction.
 type SubmeshFirstFit struct {
 	tracker
 	m *mesh.Mesh
+	// rowBits holds one free bitmask per mesh row (bit x of row y set =
+	// node (x,y) free), ww words per row; rmBuf is the per-row run-mask
+	// scratch of findFree. wordScan selects the bitmask search; the naive
+	// anchor probe is retained as the reference path.
+	ww       int
+	rowBits  []uint64
+	rmBuf    []uint64
+	wordScan bool
 }
 
 // NewSubmeshFirstFit returns a first-fit contiguous submesh allocator.
 func NewSubmeshFirstFit(m *mesh.Mesh) *SubmeshFirstFit {
-	return &SubmeshFirstFit{tracker: newTracker(m.Grid()), m: m}
+	a := &SubmeshFirstFit{
+		tracker:  newTracker(m.Grid()),
+		m:        m,
+		ww:       (m.Width() + 63) >> 6,
+		wordScan: true,
+	}
+	a.rowBits = make([]uint64, m.Height()*a.ww)
+	a.rmBuf = make([]uint64, m.Height()*a.ww)
+	a.fillRowBits()
+	return a
 }
+
+// fillRowBits marks every node free in the row bitmasks, keeping pad bits
+// past Width() clear so runs can never extend across a row boundary.
+func (a *SubmeshFirstFit) fillRowBits() {
+	w := a.m.Width()
+	for y := 0; y < a.m.Height(); y++ {
+		row := a.rowBits[y*a.ww : (y+1)*a.ww]
+		for i := range row {
+			row[i] = ^uint64(0)
+		}
+		if r := uint(w) & 63; r != 0 {
+			row[len(row)-1] = (1 << r) - 1
+		}
+	}
+}
+
+// take shadows tracker.take to keep the row bitmasks in lockstep. All
+// in-package callers (Allocate and the fragmentation tests) go through
+// this method, so the masks can never drift from the busy bitmap.
+func (a *SubmeshFirstFit) take(ids []int) {
+	a.tracker.take(ids)
+	for _, id := range ids {
+		row, x := a.g.RowOf(id)
+		a.rowBits[row*a.ww+x>>6] &^= 1 << (uint(x) & 63)
+	}
+}
+
+// Release implements Allocator.
+func (a *SubmeshFirstFit) Release(ids []int) {
+	a.tracker.Release(ids)
+	for _, id := range ids {
+		row, x := a.g.RowOf(id)
+		a.rowBits[row*a.ww+x>>6] |= 1 << (uint(x) & 63)
+	}
+}
+
+// Reset implements Allocator.
+func (a *SubmeshFirstFit) Reset() {
+	a.tracker.Reset()
+	a.fillRowBits()
+}
+
+// SetWordScan toggles the word-parallel free-box search (on by default);
+// both paths return bit-identical anchors, pinned by the equivalence
+// tests.
+func (a *SubmeshFirstFit) SetWordScan(on bool) { a.wordScan = on }
 
 // Name implements Allocator.
 func (a *SubmeshFirstFit) Name() string { return "submesh" }
@@ -93,6 +165,32 @@ func (a *SubmeshFirstFit) findFree(w, h, size int) []int {
 	if w > a.m.Width() || h > a.m.Height() {
 		return nil
 	}
+	if !a.wordScan {
+		return a.findFreeRef(w, h, size)
+	}
+	// Per-row run masks: bit x of row y set iff cells (x..x+w-1, y) are
+	// all free. Pad bits are clear, so no run crosses the right edge.
+	for y := 0; y < a.m.Height(); y++ {
+		occupancy.RunMask(a.rmBuf[y*a.ww:(y+1)*a.ww], a.rowBits[y*a.ww:(y+1)*a.ww], w)
+	}
+	for y := 0; y+h <= a.m.Height(); y++ {
+		for wi := 0; wi < a.ww; wi++ {
+			v := a.rmBuf[y*a.ww+wi]
+			for dy := 1; dy < h && v != 0; dy++ {
+				v &= a.rmBuf[(y+dy)*a.ww+wi]
+			}
+			if v != 0 {
+				x := wi<<6 + bits.TrailingZeros64(v)
+				ids := a.m.Nodes(mesh.Submesh{Origin: mesh.Point{X: x, Y: y}, W: w, H: h})
+				return ids[:size]
+			}
+		}
+	}
+	return nil
+}
+
+// findFreeRef is the cell-by-cell reference anchor scan.
+func (a *SubmeshFirstFit) findFreeRef(w, h, size int) []int {
 	for y := 0; y+h <= a.m.Height(); y++ {
 	anchors:
 		for x := 0; x+w <= a.m.Width(); x++ {

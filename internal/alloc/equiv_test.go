@@ -171,7 +171,7 @@ func TestCountCostMatchesGather(t *testing.T) {
 			if mc.busy[center] {
 				continue
 			}
-			counted, okC := mc.countCost(g.Coord(center), ext, size, -1)
+			counted, _, okC := mc.countCost(g.Coord(center), ext, size, -1)
 			walked, okW := mc.gather(g.Coord(center), ext, size)
 			if okC != okW || counted != walked {
 				t.Fatalf("dims %v center %d size %d: counted (%d, %v) != walked (%d, %v)",

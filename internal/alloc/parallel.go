@@ -83,7 +83,13 @@ func reduceChunks(res []chunkBest) (bestCost, bestCenter int) {
 // goroutines. Pruning via the local incumbent only changes how much
 // work a chunk does, never which candidate it elects, because countCost
 // reports the exact cost of every candidate that beats the incumbent.
-func (a *MC) scanParallel(ext topo.Point, size int) (bestCost, bestCenter int) {
+// The score cache composes: chunks cover disjoint center ranges and the
+// cache is indexed by center, so workers read and write disjoint entries
+// race-free. Which entries hold exact costs versus pruned lower bounds
+// can vary with the worker count (different incumbents prune
+// differently), but every cached value is occupancy-faithful, so
+// elections stay bit-identical at any parallelism.
+func (a *MC) scanParallel(ext topo.Point, size int, cache *mcCache) (bestCost, bestCenter int) {
 	n := a.g.Size()
 	workers := a.workers
 	if workers > n {
@@ -101,9 +107,26 @@ func (a *MC) scanParallel(ext topo.Point, size int) (bestCost, bestCenter int) {
 				if a.busy[center] {
 					continue
 				}
-				cost, ok := a.countCost(a.g.Coord(center), ext, size, best.cost)
-				if !ok {
-					continue
+				var cost int
+				if cache != nil && cache.state[center] == cacheExact {
+					cost = cache.cost[center]
+				} else {
+					if cache != nil && cache.state[center] == cacheBound &&
+						best.cost >= 0 && cache.cost[center] >= best.cost {
+						continue
+					}
+					coord := a.g.Coord(center)
+					c, rad, ok := a.countCost(coord, ext, size, best.cost)
+					if !ok {
+						if cache != nil && rad >= 0 {
+							cache.store(a.g, cacheBound, center, coord, ext, rad, c)
+						}
+						continue
+					}
+					cost = c
+					if cache != nil {
+						cache.store(a.g, cacheExact, center, coord, ext, rad, cost)
+					}
 				}
 				if best.cost == -1 || cost < best.cost {
 					best = chunkBest{cost: cost, center: center}

@@ -14,6 +14,8 @@ package binpack
 import (
 	"errors"
 	"fmt"
+
+	"meshalloc/internal/occupancy"
 )
 
 // Strategy selects which free-rank interval serves a request.
@@ -100,6 +102,12 @@ type Packer struct {
 	rankOf  []int // rank of each node id
 	free    []bool
 	numFree int
+	// bits mirrors free in rank space (bit set = free) so interval and
+	// prefix enumeration can scan 64 ranks per instruction. free stays the
+	// ground truth for double-release detection; bits is kept in lockstep
+	// by Allocate/Release/Reset.
+	bits     *occupancy.Bitset
+	wordScan bool
 	// nextStart remembers where NextFit resumes scanning.
 	nextStart int
 	// ivsBuf and ranksBuf are persistent per-Allocate workspaces so the
@@ -113,11 +121,14 @@ type Packer struct {
 // permutation: the curve is static configuration.
 func New(order []int) *Packer {
 	p := &Packer{
-		order:   append([]int(nil), order...),
-		rankOf:  make([]int, len(order)),
-		free:    make([]bool, len(order)),
-		numFree: len(order),
+		order:    append([]int(nil), order...),
+		rankOf:   make([]int, len(order)),
+		free:     make([]bool, len(order)),
+		numFree:  len(order),
+		bits:     occupancy.NewBitset(len(order)),
+		wordScan: true,
 	}
+	p.bits.SetAll()
 	for i := range p.rankOf {
 		p.rankOf[i] = -1
 	}
@@ -142,18 +153,50 @@ func (p *Packer) Reset() {
 	for i := range p.free {
 		p.free[i] = true
 	}
+	p.bits.SetAll()
 	p.numFree = len(p.free)
 	p.nextStart = 0
 }
+
+// SetWordScan toggles the word-parallel bitset scans (on by default). The
+// naive boolean walk is retained as the reference path; both produce
+// identical intervals and ranks, pinned by the equivalence tests.
+func (p *Packer) SetWordScan(on bool) { p.wordScan = on }
 
 // Intervals returns the current maximal free intervals in rank order.
 func (p *Packer) Intervals() []Interval {
 	return p.appendIntervals(nil)
 }
 
+// AppendIntervals appends the current maximal free intervals to ivs in
+// rank order, reusing ivs' capacity. It is the candidate-enumeration hot
+// path of every fit strategy, exported for benchmarks and external reuse.
+func (p *Packer) AppendIntervals(ivs []Interval) []Interval {
+	return p.appendIntervals(ivs)
+}
+
 // appendIntervals appends the current maximal free intervals to ivs in
-// rank order.
+// rank order. The word-parallel path hops between runs with
+// TrailingZeros64 scans over the free bitset; the boolean walk is the
+// bit-identical reference.
 func (p *Packer) appendIntervals(ivs []Interval) []Interval {
+	if !p.wordScan {
+		return p.appendIntervalsRef(ivs)
+	}
+	for i := 0; ; {
+		j := p.bits.NextSet(i)
+		if j < 0 {
+			break
+		}
+		k := p.bits.NextClear(j)
+		ivs = append(ivs, Interval{Start: j, Len: k - j})
+		i = k
+	}
+	return ivs
+}
+
+// appendIntervalsRef is the naive reference interval scan.
+func (p *Packer) appendIntervalsRef(ivs []Interval) []Interval {
 	i := 0
 	for i < len(p.free) {
 		if !p.free[i] {
@@ -200,6 +243,7 @@ func (p *Packer) Allocate(size int, s Strategy) ([]int, error) {
 	ids := make([]int, len(ranks))
 	for i, r := range ranks {
 		p.free[r] = false
+		p.bits.Clear(r)
 		ids[i] = p.order[r]
 	}
 	p.numFree -= size
@@ -219,18 +263,34 @@ func (p *Packer) Release(ids []int) {
 			panic(fmt.Sprintf("binpack: double release of id %d", id))
 		}
 		p.free[r] = true
+		p.bits.Set(r)
 	}
 	p.numFree += len(ids)
 }
 
 // prefixRanks returns the first size free ranks (sorted free list) in the
 // persistent rank workspace; the result is only valid until the next
-// Allocate call.
+// Allocate call. The word path walks free runs rather than testing every
+// rank, so fully busy stretches cost one popcount-scan per 64 ranks.
 func (p *Packer) prefixRanks(size int) []int {
 	ranks := p.ranksBuf[:0]
-	for r := 0; r < len(p.free) && len(ranks) < size; r++ {
-		if p.free[r] {
-			ranks = append(ranks, r)
+	if p.wordScan {
+		for i := 0; len(ranks) < size; {
+			j := p.bits.NextSet(i)
+			if j < 0 {
+				break
+			}
+			k := p.bits.NextClear(j)
+			for r := j; r < k && len(ranks) < size; r++ {
+				ranks = append(ranks, r)
+			}
+			i = k
+		}
+	} else {
+		for r := 0; r < len(p.free) && len(ranks) < size; r++ {
+			if p.free[r] {
+				ranks = append(ranks, r)
+			}
 		}
 	}
 	p.ranksBuf = ranks

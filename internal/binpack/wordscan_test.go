@@ -1,0 +1,132 @@
+package binpack
+
+import (
+	"testing"
+)
+
+// bpRand is the repo-standard xorshift64 PRNG for deterministic tests.
+type bpRand uint64
+
+func (r *bpRand) next() uint64 {
+	x := uint64(*r)
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	*r = bpRand(x)
+	return x
+}
+
+var allStrategies = []Strategy{FreeList, FirstFit, BestFit, SumOfSquares, WorstFit, NextFit}
+
+// churnPair drives two packers through the identical allocate/release
+// sequence and fails if they ever disagree on ids, free counts, or
+// intervals. steps and seed parameterize the workload.
+func churnPair(t *testing.T, word, ref *Packer, s Strategy, seed uint64, steps int) {
+	t.Helper()
+	r := bpRand(seed)
+	var live [][]int
+	for step := 0; step < steps; step++ {
+		if r.next()%3 != 0 && word.NumFree() > 0 {
+			size := int(r.next())%word.NumFree() + 1
+			if size < 0 {
+				size = -size
+			}
+			a, errA := word.Allocate(size, s)
+			b, errB := ref.Allocate(size, s)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("step %d: error mismatch %v vs %v", step, errA, errB)
+			}
+			if errA != nil {
+				continue
+			}
+			if len(a) != len(b) {
+				t.Fatalf("step %d: len %d vs %d", step, len(a), len(b))
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("step %d id %d: word %d vs ref %d", step, i, a[i], b[i])
+				}
+			}
+			live = append(live, a)
+		} else if len(live) > 0 {
+			i := int(r.next()) % len(live)
+			if i < 0 {
+				i = -i
+			}
+			word.Release(live[i])
+			ref.Release(live[i])
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		}
+		if word.NumFree() != ref.NumFree() {
+			t.Fatalf("step %d: NumFree %d vs %d", step, word.NumFree(), ref.NumFree())
+		}
+		wi, ri := word.Intervals(), ref.Intervals()
+		if len(wi) != len(ri) {
+			t.Fatalf("step %d: intervals %v vs %v", step, wi, ri)
+		}
+		for i := range wi {
+			if wi[i] != ri[i] {
+				t.Fatalf("step %d: intervals %v vs %v", step, wi, ri)
+			}
+		}
+	}
+}
+
+// TestWordScanMatchesNaive churns word-scan and naive packers through the
+// same workload for every strategy and several awkward sizes (word
+// boundaries, sub-word, multi-word).
+func TestWordScanMatchesNaive(t *testing.T) {
+	for _, n := range []int{1, 17, 64, 65, 127, 128, 300, 1024} {
+		for _, s := range allStrategies {
+			word := New(identityOrder(n))
+			ref := New(identityOrder(n))
+			ref.SetWordScan(false)
+			churnPair(t, word, ref, s, uint64(n)*13+uint64(s)+1, 200)
+		}
+	}
+}
+
+// TestWordScanBitsMirrorsFree checks the bitset invariant directly after a
+// churn: bit r set iff free[r], and pad bits clear.
+func TestWordScanBitsMirrorsFree(t *testing.T) {
+	p := New(identityOrder(130))
+	r := bpRand(5)
+	var live [][]int
+	for step := 0; step < 400; step++ {
+		if r.next()%3 != 0 && p.NumFree() > 0 {
+			size := int(r.next()%uint64(p.NumFree())) + 1
+			ids, err := p.Allocate(size, allStrategies[step%len(allStrategies)])
+			if err != nil {
+				t.Fatal(err)
+			}
+			live = append(live, ids)
+		} else if len(live) > 0 {
+			p.Release(live[len(live)-1])
+			live = live[:len(live)-1]
+		}
+		for rank, free := range p.free {
+			if p.bits.Get(rank) != free {
+				t.Fatalf("step %d: bit %d = %v, free = %v", step, rank, p.bits.Get(rank), free)
+			}
+		}
+		if p.bits.Count() != p.NumFree() {
+			t.Fatalf("step %d: bit count %d, NumFree %d", step, p.bits.Count(), p.NumFree())
+		}
+	}
+}
+
+// FuzzWordScanEquivalence fuzzes the word/naive pairing over arbitrary
+// op streams: identical allocations, errors, and interval structure.
+func FuzzWordScanEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(64), uint8(1))
+	f.Add(uint64(99), uint8(200), uint8(5))
+	f.Fuzz(func(t *testing.T, seed uint64, size, strat uint8) {
+		n := int(size)%512 + 1
+		s := allStrategies[int(strat)%len(allStrategies)]
+		word := New(identityOrder(n))
+		ref := New(identityOrder(n))
+		ref.SetWordScan(false)
+		churnPair(t, word, ref, s, seed|1, 120)
+	})
+}

@@ -20,6 +20,16 @@ import (
 // of a constant-memory run.
 type Observer func(JobRecord)
 
+// DeltaObserver receives the node-id delta of every occupancy change:
+// the ids a starting job just received (allocated true) or a finishing
+// job just returned (allocated false), with the scaled simulation time
+// of the change. Deltas are exactly the invalidation sets incremental
+// consumers need — a caching scorer or an external mirror of the
+// free-map updates only the changed region instead of re-reading the
+// machine. The ids slice is the engine's own and must not be retained
+// or mutated past the call.
+type DeltaObserver func(now float64, ids []int, allocated bool)
+
 // event is a heap entry.
 type event struct {
 	t    float64
@@ -132,11 +142,16 @@ type Engine struct {
 	cfg       Config
 	grid      *topo.Grid
 	allocator alloc.Allocator
-	pattern   comm.Pattern
-	policy    sched.Policy
-	isFCFS    bool
-	net       *netsim.Network
-	rng       *stats.RNG
+	// batcher is non-nil when the allocator supports batch allocation;
+	// the FCFS dispatch then serves each runnable queue prefix in one
+	// call. Results are bit-identical to one-at-a-time dispatch (see
+	// scheduleFCFSBatch); tests null it out to compare both paths.
+	batcher alloc.BatchAllocator
+	pattern comm.Pattern
+	policy  sched.Policy
+	isFCFS  bool
+	net     *netsim.Network
+	rng     *stats.RNG
 
 	events eventHeap
 	seq    int64
@@ -146,11 +161,14 @@ type Engine struct {
 	rjPool []*runningJob // recycled runningJob structs
 
 	// pendBuf and runBuf are persistent scratch for the non-FCFS policy
-	// path, refilled per trySchedule round.
+	// path, refilled per trySchedule round; reqBuf is the batch-dispatch
+	// request scratch.
 	pendBuf []sched.Pending
 	runBuf  []sched.Running
+	reqBuf  []alloc.Request
 
 	observers []Observer
+	deltaObs  []DeltaObserver
 	records   []JobRecord
 
 	// Streaming aggregates, updated at every finish so Result never
@@ -214,10 +232,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	_, isFCFS := policy.(sched.FCFS)
+	batcher, _ := allocator.(alloc.BatchAllocator)
 	return &Engine{
 		cfg:        cfg,
 		grid:       m,
 		allocator:  allocator,
+		batcher:    batcher,
 		pattern:    pattern,
 		policy:     policy,
 		isFCFS:     isFCFS,
@@ -232,6 +252,12 @@ func NewEngine(cfg Config) (*Engine, error) {
 // in finish order. Observers registered later are called later.
 func (e *Engine) Observe(fn Observer) {
 	e.observers = append(e.observers, fn)
+}
+
+// ObserveDeltas registers fn to be called with every allocate/release
+// node delta, in event order. Registration order is call order.
+func (e *Engine) ObserveDeltas(fn DeltaObserver) {
+	e.deltaObs = append(e.deltaObs, fn)
 }
 
 // MachineSize returns the number of processors in the machine.
@@ -291,6 +317,21 @@ func (e *Engine) Step() bool {
 	switch ev.kind {
 	case kindArrival:
 		e.queue = append(e.queue, ev.arr)
+		if e.isFCFS {
+			// Drain every same-timestamp arrival at the top of the heap
+			// before scheduling once, so simultaneous arrivals dispatch
+			// as one batch. Under FCFS this is bit-identical to
+			// scheduling after each arrival: the drain stops at any
+			// earlier-sequenced non-arrival event, queue order is
+			// arrival order either way, and the combined trySchedule
+			// starts the same jobs in the same order consuming the RNG
+			// identically. Policies that inspect the whole queue (SJF)
+			// keep per-arrival scheduling.
+			for len(e.events) > 0 && e.events[0].t == ev.t && e.events[0].kind == kindArrival {
+				next := e.events.pop()
+				e.queue = append(e.queue, next.arr)
+			}
+		}
 		e.trySchedule(ev.t)
 	case kindStep:
 		e.step(ev.job, ev.t)
@@ -427,6 +468,10 @@ func (e *Engine) quotaOf(j trace.Job) int64 {
 
 // trySchedule starts every job the policy allows at time now.
 func (e *Engine) trySchedule(now float64) {
+	if e.isFCFS && e.batcher != nil {
+		e.scheduleFCFSBatch(now)
+		return
+	}
 	for {
 		var pick int
 		if e.isFCFS {
@@ -463,25 +508,83 @@ func (e *Engine) trySchedule(now float64) {
 				e.allocator.Name(), job.Size, e.allocator.NumFree(), err))
 		}
 		e.queue = append(e.queue[:pick], e.queue[pick+1:]...)
-		var rj *runningJob
-		if n := len(e.rjPool); n > 0 {
-			rj, e.rjPool = e.rjPool[n-1], e.rjPool[:n-1]
-		} else {
-			rj = new(runningJob)
-		}
-		*rj = runningJob{
-			job:     job,
-			nodes:   nodes,
-			gen:     e.pattern.Generator(job.Size, e.rng),
-			quota:   e.quotaOf(job),
-			start:   now,
-			lastArr: now,
-			estEnd:  now + job.Runtime,
-		}
-		e.runSet[rj] = true
-		e.busyProcs += job.Size
-		e.push(event{t: now, kind: kindStep, job: rj})
+		e.startJob(job, nodes, now)
 	}
+}
+
+// scheduleFCFSBatch dispatches the runnable FCFS queue prefix in one
+// AllocateBatch call. The BatchAllocator contract (exact-size
+// consumption, success whenever size <= NumFree) makes the cumulative
+// size check below exactly the head-fits rule the sequential loop
+// applies after each allocation, and AllocateBatch is defined as the
+// in-order sequence of Allocates, so the jobs started, their node sets,
+// the RNG consumption, and the relative event order are all identical
+// to the one-at-a-time loop — pinned by the golden digests and the
+// batch equivalence suite.
+func (e *Engine) scheduleFCFSBatch(now float64) {
+	free := e.allocator.NumFree()
+	n := 0
+	for n < len(e.queue) && e.queue[n].Size <= free {
+		free -= e.queue[n].Size
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	if n == 1 {
+		// Single-job rounds skip the batch call and its result slice —
+		// the common steady-state case stays zero-alloc.
+		job := e.queue[0]
+		nodes, err := e.allocator.Allocate(alloc.Request{Size: job.Size})
+		if err != nil {
+			panic(fmt.Sprintf("sim: batch allocator %s refused %d procs with %d free: %v",
+				e.allocator.Name(), job.Size, e.allocator.NumFree(), err))
+		}
+		e.queue = e.queue[:copy(e.queue, e.queue[1:])]
+		e.startJob(job, nodes, now)
+		return
+	}
+	e.reqBuf = e.reqBuf[:0]
+	for i := 0; i < n; i++ {
+		e.reqBuf = append(e.reqBuf, alloc.Request{Size: e.queue[i].Size})
+	}
+	batch, err := e.batcher.AllocateBatch(e.reqBuf)
+	if err != nil || len(batch) != n {
+		panic(fmt.Sprintf("sim: batch allocator %s served %d of %d requests with %d free: %v",
+			e.allocator.Name(), len(batch), n, e.allocator.NumFree(), err))
+	}
+	for i := 0; i < n; i++ {
+		e.startJob(e.queue[i], batch[i], now)
+	}
+	e.queue = e.queue[:copy(e.queue, e.queue[n:])]
+}
+
+// startJob registers an allocated job: pool a runningJob, draw its
+// communication generator (the single RNG consumer, so call order fixes
+// determinism), account occupancy, notify delta observers, and schedule
+// its first step.
+func (e *Engine) startJob(job trace.Job, nodes []int, now float64) {
+	var rj *runningJob
+	if n := len(e.rjPool); n > 0 {
+		rj, e.rjPool = e.rjPool[n-1], e.rjPool[:n-1]
+	} else {
+		rj = new(runningJob)
+	}
+	*rj = runningJob{
+		job:     job,
+		nodes:   nodes,
+		gen:     e.pattern.Generator(job.Size, e.rng),
+		quota:   e.quotaOf(job),
+		start:   now,
+		lastArr: now,
+		estEnd:  now + job.Runtime,
+	}
+	e.runSet[rj] = true
+	e.busyProcs += job.Size
+	for _, fn := range e.deltaObs {
+		fn(now, nodes, true)
+	}
+	e.push(event{t: now, kind: kindStep, job: rj})
 }
 
 // finish runs as its own event at the time the job's last message
@@ -490,6 +593,9 @@ func (e *Engine) finish(rj *runningJob, now float64) {
 	delete(e.runSet, rj)
 	e.allocator.Release(rj.nodes)
 	e.busyProcs -= rj.job.Size
+	for _, fn := range e.deltaObs {
+		fn(now, rj.nodes, false)
+	}
 	end := rj.lastArr
 	if end < now {
 		end = now

@@ -15,8 +15,11 @@ import (
 	"testing"
 
 	"meshalloc/internal/alloc"
+	"meshalloc/internal/binpack"
+	"meshalloc/internal/curve"
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/netsim"
+	"meshalloc/internal/occupancy"
 	"meshalloc/internal/sim"
 	"meshalloc/internal/topo"
 	"meshalloc/internal/trace"
@@ -207,6 +210,111 @@ func TestEngineDiscardPerJobAllocs(t *testing.T) {
 	})
 	if perJob := n / jobs; perJob > 20 {
 		t.Fatalf("Discard engine allocates %.1f objects/job, want <= 20", perJob)
+	}
+}
+
+// TestBitsetScanZeroAlloc pins the word-parallel free-map primitives —
+// the run-scan idiom (NextSet/NextClear) and the width-w run mask — at
+// zero allocations when the caller reuses its buffers. These are the
+// inner loops of every bitset-backed enumeration (see DESIGN.md,
+// "Word-parallel free maps").
+func TestBitsetScanZeroAlloc(t *testing.T) {
+	bs := occupancy.NewBitset(1024)
+	bs.SetAll()
+	// Scattered mixed-size holes so the scan crosses many runs.
+	for i := 0; i < 1024; i += 3 {
+		bs.Clear(i)
+	}
+	dst := make([]uint64, len(bs.Words()))
+	runs, free := 0, 0
+	n := testing.AllocsPerRun(200, func() {
+		for i := 0; i < bs.Len(); {
+			j := bs.NextSet(i)
+			if j < 0 {
+				break
+			}
+			k := bs.NextClear(j)
+			runs++
+			free += k - j
+			i = k
+		}
+		occupancy.RunMask(dst, bs.Words(), 7)
+	})
+	if n != 0 {
+		t.Fatalf("bitset run scan allocates %.1f objects/run, want 0", n)
+	}
+	_, _ = runs, free
+}
+
+// TestBinpackIntervalScanZeroAlloc pins the word-parallel free-interval
+// enumeration of the bin-packing substrate at zero allocations into a
+// reused buffer, at mixed occupancy where the naive scan used to walk
+// rank by rank.
+func TestBinpackIntervalScanZeroAlloc(t *testing.T) {
+	order := curve.Hilbert{}.Order(32, 32)
+	p := binpack.New(order)
+	var live [][]int
+	for p.NumFree() > 64 {
+		ids, err := p.Allocate(1+len(live)%13, binpack.FirstFit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		live = append(live, ids)
+	}
+	for i := 0; i < len(live); i += 3 {
+		p.Release(live[i])
+	}
+	buf := make([]binpack.Interval, 0, 1024)
+	n := testing.AllocsPerRun(200, func() {
+		buf = p.AppendIntervals(buf[:0])
+	})
+	if n != 0 {
+		t.Fatalf("AppendIntervals allocates %.1f objects/run, want 0", n)
+	}
+	if len(buf) == 0 {
+		t.Fatal("no free intervals at mixed occupancy")
+	}
+}
+
+// TestIncrementalMCSteadyStateAllocs pins the cached MC scorer's steady
+// state — the same-size churn where score reuse actually pays — at one
+// allocation per Allocate/Release cycle: the cache arrays are persistent
+// after warm-up, and store/invalidate must not generate garbage.
+func TestIncrementalMCSteadyStateAllocs(t *testing.T) {
+	for _, dims := range [][]int{{32, 32}, {16, 16, 16}} {
+		t.Run(fmt.Sprint(dims), func(t *testing.T) {
+			g := topo.New(dims)
+			a := alloc.NewMC(g)
+			var live [][]int
+			for a.NumFree() > g.Size()/3 {
+				ids, err := a.Allocate(alloc.Request{Size: 1 + len(live)%29})
+				if err != nil {
+					t.Fatal(err)
+				}
+				live = append(live, ids)
+			}
+			for i := 0; i < len(live); i += 4 {
+				a.Release(live[i])
+			}
+			// Warm the cache arrays and scratch at the steady-state size.
+			for i := 0; i < 3; i++ {
+				ids, err := a.Allocate(alloc.Request{Size: 48})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Release(ids)
+			}
+			n := testing.AllocsPerRun(30, func() {
+				ids, err := a.Allocate(alloc.Request{Size: 48})
+				if err != nil {
+					t.Fatal(err)
+				}
+				a.Release(ids)
+			})
+			if n > 1 {
+				t.Fatalf("cached MC Allocate+Release allocates %.1f objects/run, want <= 1", n)
+			}
+		})
 	}
 }
 
