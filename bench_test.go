@@ -20,6 +20,7 @@ import (
 	"meshalloc/internal/binpack"
 	"meshalloc/internal/core"
 	"meshalloc/internal/curve"
+	"meshalloc/internal/fault"
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/netsim"
 	"meshalloc/internal/sim"
@@ -791,6 +792,83 @@ func BenchmarkIncrementalMC(b *testing.B) {
 				})
 			}
 		}
+	}
+}
+
+// BenchmarkFaultInjection runs the same workload fault-free and under
+// dense exponential node failures for a curve allocator, an MC form
+// and the contiguous submesh baseline, reporting goodput, wasted work
+// and response degradation — the PR 8 headline numbers (BENCH_8.json;
+// see BENCH.md). The fault-free rows double as the regression guard
+// that fault plumbing costs the clean path nothing measurable.
+func BenchmarkFaultInjection(b *testing.B) {
+	tr := benchTrace(250, 128)
+	for _, spec := range []string{"hilbert/bestfit", "mc1x1", "submesh"} {
+		for _, faulty := range []bool{false, true} {
+			name := spec + "/clean"
+			if faulty {
+				name = spec + "/dense"
+			}
+			b.Run(name, func(b *testing.B) {
+				cfg := sim.Config{
+					MeshW: 16, MeshH: 16,
+					Alloc: spec, Pattern: "nbody",
+					Load: 0.4, TimeScale: 0.01, Seed: 1,
+				}
+				if faulty {
+					cfg.Faults = fault.Config{
+						MTBF: fault.Dist{Kind: fault.DistExponential, Mean: 3e5},
+						MTTR: fault.Dist{Kind: fault.DistExponential, Mean: 1.5e4},
+					}
+					cfg.Retry = fault.Retry{
+						Kind: fault.RetryBackoff, Base: 60, Cap: 3600, MaxAttempts: 4,
+					}
+				}
+				for i := 0; i < b.N; i++ {
+					res, err := sim.Run(cfg, tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					reportMetric(b, "mean_resp_s", res.MeanResponse)
+					if faulty {
+						reportMetric(b, "goodput_pct", res.GoodputPct)
+						reportMetric(b, "wasted_pct", res.WastedPct)
+						reportMetric(b, "down_pct", res.DownPct)
+						reportMetric(b, "kills", float64(res.Killed))
+					}
+				}
+				reportMetric(b, "ns_per_job", float64(b.Elapsed().Nanoseconds())/float64(b.N*len(tr.Jobs)))
+			})
+		}
+	}
+}
+
+// BenchmarkFaultStream times raw failure-schedule generation: one
+// simulated year of dense exponential failure/repair churn across a
+// 1024-node machine, no simulator attached.
+func BenchmarkFaultStream(b *testing.B) {
+	cfg := fault.Config{
+		Seed: 1,
+		MTBF: fault.Dist{Kind: fault.DistExponential, Mean: 3e5},
+		MTTR: fault.Dist{Kind: fault.DistExponential, Mean: 1.5e4},
+	}
+	for i := 0; i < b.N; i++ {
+		s, err := fault.NewStream(cfg, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for {
+			ev, ok := s.Next()
+			if !ok || ev.T > 365*86400 {
+				break
+			}
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no events")
+		}
+		reportMetric(b, "events_per_year", float64(n))
 	}
 }
 

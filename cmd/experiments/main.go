@@ -31,7 +31,7 @@ func main() {
 		full      = flag.Bool("full", false, "replay the full 6087-job trace (slow)")
 		parallel  = flag.Int("parallel", 0, "max concurrent simulations; grid cells and replications share one worker pool and output is identical at any value (0 = GOMAXPROCS)")
 		reps      = flag.Int("reps", 1, "replications per configuration on independent derived RNG streams (mean ± sd across seeds)")
-		ext       = flag.Bool("ext", false, "also run the extension experiments (ext-contiguous, ext-scheduler, ext-routing, ext-mixed, ext-cube, ext-cube3d, ext-steady)")
+		ext       = flag.Bool("ext", false, "also run the extension experiments (ext-contiguous, ext-scheduler, ext-routing, ext-mixed, ext-cube, ext-cube3d, ext-steady, ext-faults)")
 		schedName = flag.String("sched", "", "scheduling policy for extension runs (fcfs, easy or sjf; empty = each experiment's default)")
 		csvDir    = flag.String("csv", "", "also write each figure as <dir>/<id>.csv")
 		doPlot    = flag.Bool("plot", false, "render ASCII charts for figures with series data")

@@ -25,6 +25,7 @@ import (
 
 	"meshalloc/internal/alloc"
 	"meshalloc/internal/curve"
+	"meshalloc/internal/fault"
 	"meshalloc/internal/mesh"
 	"meshalloc/internal/metrics"
 	"meshalloc/internal/netsim"
@@ -49,6 +50,7 @@ func main() {
 		torus     = flag.Bool("torus", false, "wraparound (torus) links")
 		traceFile = flag.String("trace", "", "replay a trace file instead of synthesizing one")
 		swf       = flag.Bool("swf", false, "parse -trace as Standard Workload Format")
+		swfLoose  = flag.Bool("swf-lenient", false, "with -swf: skip malformed lines (reported to stderr) instead of aborting")
 		verbose   = flag.Bool("v", false, "print per-job records")
 		heatmap   = flag.Bool("heatmap", false, "print a node-level link-utilization heatmap")
 		disperse  = flag.Bool("dispersal", false, "print aggregate dispersal metrics of the allocations")
@@ -56,6 +58,9 @@ func main() {
 		arrival   = flag.String("arrival", "", "open-system arrival process: poisson:MEANSEC or bursty:MEANSEC,ONSEC,OFFSEC (empty = closed trace replay)")
 		duration  = flag.Float64("duration", 0, "open-system horizon in trace seconds (0 = run until the -jobs cap)")
 		allocWk   = flag.Int("alloc-workers", 0, "goroutines scoring allocation candidates (mc, mc1x1, genalg); results are bit-identical at any value")
+		mtbf      = flag.String("mtbf", "", "per-node mean time between failures: MEANSEC, exp:MEANSEC or weibull:MEANSEC,SHAPE (trace seconds; empty = no failures)")
+		mttr      = flag.String("mttr", "", "per-node mean time to repair, same forms as -mtbf (empty with -mtbf = permanent failures)")
+		retrySpec = flag.String("retry", "", "retry policy for killed jobs: none, immediate[:MAXATTEMPTS] or backoff:BASESEC,CAPSEC[,MAXATTEMPTS] (empty = immediate, unlimited)")
 	)
 	flag.Parse()
 
@@ -95,6 +100,24 @@ func main() {
 	} else if *issue != "phased" {
 		fatal(fmt.Errorf("unknown issue mode %q", *issue))
 	}
+
+	// Fault flags fail fast at parse time — a malformed -mtbf in a
+	// sweep script must die before hours of simulation, not after.
+	cfg.Faults.MTBF, err = fault.ParseDist(*mtbf)
+	if err != nil {
+		fatal(fmt.Errorf("-mtbf: %v", err))
+	}
+	cfg.Faults.MTTR, err = fault.ParseDist(*mttr)
+	if err != nil {
+		fatal(fmt.Errorf("-mttr: %v", err))
+	}
+	if cfg.Faults.MTTR.Enabled() && !cfg.Faults.MTBF.Enabled() {
+		fatal(fmt.Errorf("-mttr without -mtbf: nothing ever fails"))
+	}
+	cfg.Retry, err = fault.ParseRetry(*retrySpec)
+	if err != nil {
+		fatal(fmt.Errorf("-retry: %v", err))
+	}
 	route, err := netsim.RoutingByName(*routing)
 	if err != nil {
 		fatal(err)
@@ -121,7 +144,13 @@ func main() {
 			if oerr != nil {
 				fatal(oerr)
 			}
-			if *swf {
+			if *swf && *swfLoose {
+				var skips []trace.SWFSkip
+				tr, skips, err = trace.ReadSWFLenient(f)
+				for _, s := range skips {
+					fmt.Fprintf(os.Stderr, "simrun: %s: swf %s\n", *traceFile, s)
+				}
+			} else if *swf {
 				tr, err = trace.ReadSWF(f)
 			} else {
 				tr, err = trace.Read(f)
@@ -164,6 +193,12 @@ func main() {
 	fmt.Fprintf(sum, "contiguous       %13.1f %%   avg components %.2f\n", res.PctContiguous, res.AvgComponents)
 	fmt.Fprintf(sum, "network: %d messages, avg %.2f hops, avg latency %.3f s (scaled)\n",
 		res.Net.Messages, res.Net.AvgHops(), res.Net.AvgLatency())
+	if cfg.Faults.Enabled() {
+		fmt.Fprintf(sum, "faults: %d kills, %d retries, %d given up\n",
+			res.Killed, res.Retried, res.GivenUp)
+		fmt.Fprintf(sum, "goodput          %13.1f %%   wasted %.2f %%   down %.2f %%\n",
+			res.GoodputPct, res.WastedPct, res.DownPct)
+	}
 
 	if *heatmap {
 		if len(dims) != 2 {

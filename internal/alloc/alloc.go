@@ -128,6 +128,20 @@ type Allocator interface {
 	Reset()
 }
 
+// FaultAware is implemented by allocators that can mask individual
+// nodes out of service for fault injection. A downed node reads as
+// busy to every scoring, scanning and free-count path — candidate
+// enumeration, occupancy indexes and word scans all treat it exactly
+// like an allocated processor — until MarkUp returns it. Callers must
+// release any job occupying the node before MarkDown, and must not
+// MarkDown a node twice; Reset clears all marks along with the busy
+// set. Allocators that do not implement FaultAware cannot run under
+// fault injection (the engine rejects the configuration up front).
+type FaultAware interface {
+	MarkDown(id int)
+	MarkUp(id int)
+}
+
 // Spec names an allocator configuration in the form used by the CLI tools
 // and the experiment harness:
 //
@@ -284,6 +298,13 @@ func (p *Paging) NumFree() int { return p.packer.NumFree() }
 // Reset implements Allocator.
 func (p *Paging) Reset() { p.packer.Reset() }
 
+// MarkDown implements FaultAware: the node's rank is masked busy in
+// the packer's free map and word-scan bitset.
+func (p *Paging) MarkDown(id int) { p.packer.MarkDown(id) }
+
+// MarkUp implements FaultAware.
+func (p *Paging) MarkUp(id int) { p.packer.MarkUp(id) }
+
 // tracker is the shared busy-set bookkeeping for the set-based allocators
 // (MC, Gen-Alg, Random). When an allocator carries an occupancy index
 // (boxes for MC shell counting, balls for Gen-Alg ball counting), every
@@ -346,6 +367,40 @@ func (t *tracker) take(ids []int) {
 	t.numFree -= len(ids)
 }
 
+// MarkDown implements FaultAware: the node joins the busy set (and
+// every occupancy index) as if allocated, so shell counts, ball counts
+// and free counts all see it as unavailable. It panics on a busy or
+// already-down node — the engine kills and releases occupying jobs
+// before masking.
+func (t *tracker) MarkDown(id int) {
+	if id < 0 || id >= len(t.busy) || t.busy[id] {
+		panic(fmt.Sprintf("alloc: mark down of busy or invalid id %d", id))
+	}
+	t.busy[id] = true
+	if t.boxes != nil {
+		t.boxes.Take(id)
+	}
+	if t.balls != nil {
+		t.balls.Take(id)
+	}
+	t.numFree--
+}
+
+// MarkUp implements FaultAware.
+func (t *tracker) MarkUp(id int) {
+	if id < 0 || id >= len(t.busy) || !t.busy[id] {
+		panic(fmt.Sprintf("alloc: mark up of id %d that is not down", id))
+	}
+	t.busy[id] = false
+	if t.boxes != nil {
+		t.boxes.Release(id)
+	}
+	if t.balls != nil {
+		t.balls.Release(id)
+	}
+	t.numFree++
+}
+
 func (t *tracker) check(size int) error {
 	if size <= 0 {
 		return fmt.Errorf("alloc: invalid request size %d", size)
@@ -389,6 +444,9 @@ type MC struct {
 	// noCache (SetScoreCache(false)) restores scoring from scratch.
 	cache   mcCache
 	noCache bool
+	// maskBuf feeds single-node fault deltas into cacheInvalidate
+	// without a per-event allocation.
+	maskBuf [1]int
 }
 
 // mcCache entry states: an entry is either the exact cost of centering
@@ -511,6 +569,24 @@ func (a *MC) take(ids []int) {
 func (a *MC) Release(ids []int) {
 	a.tracker.Release(ids)
 	a.cacheInvalidate(ids)
+}
+
+// MarkDown shadows tracker.MarkDown so fault deltas invalidate cached
+// scores exactly like an allocation of the node would: a downed node
+// changes the shell free counts of every candidate whose stopping box
+// covers it.
+func (a *MC) MarkDown(id int) {
+	a.tracker.MarkDown(id)
+	a.maskBuf[0] = id
+	a.cacheInvalidate(a.maskBuf[:])
+}
+
+// MarkUp shadows tracker.MarkUp with the same cache invalidation on
+// the repair delta.
+func (a *MC) MarkUp(id int) {
+	a.tracker.MarkUp(id)
+	a.maskBuf[0] = id
+	a.cacheInvalidate(a.maskBuf[:])
 }
 
 // Reset implements Allocator.

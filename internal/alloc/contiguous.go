@@ -96,6 +96,26 @@ func (a *SubmeshFirstFit) Reset() {
 	a.fillRowBits()
 }
 
+// MarkDown shadows tracker.MarkDown to keep the row bitmasks in
+// lockstep: a downed node must break free runs in the word-parallel
+// anchor search exactly like an allocated one, or findFree would anchor
+// submeshes on dead processors. Submesh allocation is the allocator
+// that degrades hardest under failures — a single hole vetoes every
+// submesh covering it — which is exactly the comparison the fault
+// experiments are after.
+func (a *SubmeshFirstFit) MarkDown(id int) {
+	a.tracker.MarkDown(id)
+	row, x := a.g.RowOf(id)
+	a.rowBits[row*a.ww+x>>6] &^= 1 << (uint(x) & 63)
+}
+
+// MarkUp shadows tracker.MarkUp, restoring the node's run bit.
+func (a *SubmeshFirstFit) MarkUp(id int) {
+	a.tracker.MarkUp(id)
+	row, x := a.g.RowOf(id)
+	a.rowBits[row*a.ww+x>>6] |= 1 << (uint(x) & 63)
+}
+
 // SetWordScan toggles the word-parallel free-box search (on by default);
 // both paths return bit-identical anchors, pinned by the equivalence
 // tests.

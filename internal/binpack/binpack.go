@@ -268,6 +268,39 @@ func (p *Packer) Release(ids []int) {
 	p.numFree += len(ids)
 }
 
+// MarkDown removes a node from service: its rank reads as busy to
+// every strategy, interval scan and free count until MarkUp, exactly
+// as if a one-processor job occupied it. It panics if the node is
+// currently allocated or already down — the simulator must kill and
+// release the occupying job before masking the node.
+func (p *Packer) MarkDown(id int) {
+	if id < 0 || id >= len(p.rankOf) {
+		panic(fmt.Sprintf("binpack: mark down of invalid id %d", id))
+	}
+	r := p.rankOf[id]
+	if !p.free[r] {
+		panic(fmt.Sprintf("binpack: mark down of busy or already-down id %d", id))
+	}
+	p.free[r] = false
+	p.bits.Clear(r)
+	p.numFree--
+}
+
+// MarkUp returns a downed node to service. It panics if the node is
+// not currently masked out.
+func (p *Packer) MarkUp(id int) {
+	if id < 0 || id >= len(p.rankOf) {
+		panic(fmt.Sprintf("binpack: mark up of invalid id %d", id))
+	}
+	r := p.rankOf[id]
+	if p.free[r] {
+		panic(fmt.Sprintf("binpack: mark up of id %d that is not down", id))
+	}
+	p.free[r] = true
+	p.bits.Set(r)
+	p.numFree++
+}
+
 // prefixRanks returns the first size free ranks (sorted free list) in the
 // persistent rank workspace; the result is only valid until the next
 // Allocate call. The word path walks free runs rather than testing every

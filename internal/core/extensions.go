@@ -311,7 +311,7 @@ func ExtCube3D(o Options) (*Figure, error) {
 
 // AllExtensionIDs lists the extension experiments.
 func AllExtensionIDs() []string {
-	return []string{"ext-contiguous", "ext-scheduler", "ext-routing", "ext-mixed", "ext-cube", "ext-cube3d", "ext-steady"}
+	return []string{"ext-contiguous", "ext-scheduler", "ext-routing", "ext-mixed", "ext-cube", "ext-cube3d", "ext-steady", "ext-faults"}
 }
 
 // ExtensionByID returns the named extension experiment.
@@ -331,6 +331,8 @@ func ExtensionByID(id string, o Options) (*Figure, error) {
 		return ExtCube3D(o)
 	case "ext-steady":
 		return ExtSteady(o)
+	case "ext-faults":
+		return ExtFaults(o)
 	default:
 		return nil, fmt.Errorf("core: unknown extension %q", id)
 	}

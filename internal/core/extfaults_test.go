@@ -1,0 +1,65 @@
+package core
+
+import (
+	"bytes"
+	"strconv"
+	"testing"
+)
+
+// TestExtFaultsStructure: the robustness table carries one row per
+// allocator x fault level, the fault-free rows show no degradation or
+// waste, and the dense level actually kills jobs somewhere.
+func TestExtFaultsStructure(t *testing.T) {
+	fig, err := ExtFaults(quickOpt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := fig.Tables[0]
+	if want := len(extFaultSpecs) * len(faultLevels); len(tab.Rows) != want {
+		t.Fatalf("%d rows, want %d", len(tab.Rows), want)
+	}
+	kills := 0
+	for _, row := range tab.Rows {
+		k, err := strconv.Atoi(row[7])
+		if err != nil {
+			t.Fatalf("bad kills cell %q", row[7])
+		}
+		if row[1] == "none" {
+			if k != 0 || row[3] != "—" || row[5] != "0.00" {
+				t.Errorf("%s fault-free row reports fault activity: %v", row[0], row)
+			}
+		}
+		kills += k
+	}
+	if kills == 0 {
+		t.Fatal("no kills anywhere: the failure intensities are too calm for the workload")
+	}
+}
+
+// TestExtFaultsParallelDeterminism: the rendered figure is
+// byte-identical at any sweep parallelism — fault schedules are a pure
+// function of the seed, never of worker interleaving.
+func TestExtFaultsParallelDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full grids")
+	}
+	render := func(parallelism int) []byte {
+		o := quickOpt()
+		o.Parallelism = parallelism
+		fig, err := ExtFaults(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := fig.Render(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := render(1)
+	for _, p := range []int{2, 8} {
+		if got := render(p); !bytes.Equal(got, want) {
+			t.Fatalf("parallelism %d changed the rendered figure", p)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+
+	"meshalloc/internal/stats"
 )
 
 // The parallel experiment fabric, layer 1: Monte-Carlo sweeps shard
@@ -26,10 +28,7 @@ func RepSeed(base int64, rep int) int64 {
 	if rep == 0 {
 		return base
 	}
-	z := uint64(base) + uint64(rep)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
+	return stats.Mix64(base, rep)
 }
 
 // forEachShard runs body(i) for every i in [0, n) on min(workers, n)

@@ -1,0 +1,257 @@
+// Package fault generates deterministic node failure/repair event
+// streams and the retry policies that govern what happens to jobs
+// killed by a failure. Random failures draw per-node MTBF/MTTR clocks
+// from splitmix64 streams derived only from (seed, node id), so a
+// schedule is a pure function of the configuration — bit-reproducible
+// at any simulation worker count — and scripted drain/undrain events
+// can be merged into the same totally-ordered stream for maintenance
+// scenarios.
+package fault
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind labels a fault event.
+type Kind uint8
+
+const (
+	// NodeDown marks a hard failure: any job occupying the node is
+	// killed and the node becomes unavailable until NodeUp.
+	NodeDown Kind = iota
+	// NodeUp repairs a failed node.
+	NodeUp
+	// NodeDrain marks a graceful drain: running jobs finish, but no
+	// new job may be placed on the node until NodeUndrain.
+	NodeDrain
+	// NodeUndrain returns a drained node to service.
+	NodeUndrain
+)
+
+// String returns the event kind's scripted-schedule spelling.
+func (k Kind) String() string {
+	switch k {
+	case NodeDown:
+		return "down"
+	case NodeUp:
+		return "up"
+	case NodeDrain:
+		return "drain"
+	case NodeUndrain:
+		return "undrain"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Event is one node state transition at simulated time T.
+type Event struct {
+	T    float64
+	Node int
+	Kind Kind
+}
+
+// DistKind selects a lifetime distribution family.
+type DistKind uint8
+
+const (
+	// DistNone disables the clock (no random events).
+	DistNone DistKind = iota
+	// DistExponential draws exponential lifetimes with the given mean
+	// (the memoryless MTBF/MTTR model).
+	DistExponential
+	// DistWeibull draws Weibull lifetimes with the given mean and
+	// shape; shape < 1 models infant-mortality failure clustering,
+	// shape > 1 wear-out.
+	DistWeibull
+)
+
+// Dist describes a node lifetime distribution: the family, the mean in
+// simulated seconds, and (Weibull only) the shape parameter.
+type Dist struct {
+	Kind  DistKind
+	Mean  float64
+	Shape float64
+}
+
+// Enabled reports whether the distribution generates events.
+func (d Dist) Enabled() bool { return d.Kind != DistNone }
+
+// Validate checks the parameters for the selected family.
+func (d Dist) Validate() error {
+	switch d.Kind {
+	case DistNone:
+		return nil
+	case DistExponential:
+		if !(d.Mean > 0) || math.IsInf(d.Mean, 0) {
+			return fmt.Errorf("fault: exponential mean must be positive and finite, got %v", d.Mean)
+		}
+		return nil
+	case DistWeibull:
+		if !(d.Mean > 0) || math.IsInf(d.Mean, 0) {
+			return fmt.Errorf("fault: weibull mean must be positive and finite, got %v", d.Mean)
+		}
+		if !(d.Shape > 0) || math.IsInf(d.Shape, 0) {
+			return fmt.Errorf("fault: weibull shape must be positive and finite, got %v", d.Shape)
+		}
+		return nil
+	}
+	return fmt.Errorf("fault: unknown distribution kind %d", d.Kind)
+}
+
+// scale returns the multiplier that maps a unit-scale variate of the
+// family onto the requested mean. For Weibull the unit-scale mean is
+// Gamma(1 + 1/shape), so scale = mean / Gamma(1+1/shape).
+func (d Dist) scale() float64 {
+	switch d.Kind {
+	case DistExponential:
+		return d.Mean
+	case DistWeibull:
+		return d.Mean / math.Gamma(1+1/d.Shape)
+	}
+	return 0
+}
+
+// sample draws one lifetime from the distribution given a uniform
+// variate u in [0,1) and the precomputed scale. Inverse-CDF sampling
+// keeps the draw a pure function of u: -ln(1-u) is a unit exponential,
+// and (-ln(1-u))^(1/shape) a unit-scale Weibull.
+func (d Dist) sample(scale, u float64) float64 {
+	e := -math.Log1p(-u) // unit exponential; Log1p keeps precision near u=0
+	switch d.Kind {
+	case DistExponential:
+		return scale * e
+	case DistWeibull:
+		return scale * math.Pow(e, 1/d.Shape)
+	}
+	return math.Inf(1)
+}
+
+// Config describes a fault workload: the derivation seed for the
+// per-node random clocks, the failure (MTBF) and repair (MTTR)
+// distributions, and an optional scripted schedule of events merged
+// into the random stream. The zero value disables fault injection.
+type Config struct {
+	// Seed derives every per-node failure clock via stats.Mix64(Seed,
+	// node). Two configs with equal Seed produce identical schedules
+	// regardless of how the simulation is sharded.
+	Seed int64
+	// MTBF is the time-to-failure distribution of a healthy node.
+	// DistNone disables random failures (scripted events still fire).
+	MTBF Dist
+	// MTTR is the time-to-repair distribution of a failed node. If
+	// disabled while MTBF is enabled, failed nodes never recover.
+	MTTR Dist
+	// Script holds hand-written events (typically drain/undrain
+	// maintenance windows) merged into the stream in time order.
+	Script []Event
+	// StrictCapacity makes Engine.Submit reject jobs larger than the
+	// currently *available* (non-down, non-drained) capacity rather
+	// than only jobs larger than the machine.
+	StrictCapacity bool
+}
+
+// Enabled reports whether the config produces any fault events.
+func (c Config) Enabled() bool {
+	return c.MTBF.Enabled() || len(c.Script) > 0
+}
+
+// Validate checks distributions and script entries (node bounds are
+// checked against n, the machine size).
+func (c Config) Validate(n int) error {
+	if err := c.MTBF.Validate(); err != nil {
+		return err
+	}
+	if err := c.MTTR.Validate(); err != nil {
+		return err
+	}
+	if c.MTBF.Enabled() && !c.MTTR.Enabled() {
+		// Permanent failures are allowed, but flag the common
+		// misconfiguration of a zero-mean MTTR explicitly.
+		if c.MTTR.Kind != DistNone {
+			return fmt.Errorf("fault: MTTR distribution invalid")
+		}
+	}
+	for i, ev := range c.Script {
+		if ev.Node < 0 || ev.Node >= n {
+			return fmt.Errorf("fault: script event %d: node %d out of range [0,%d)", i, ev.Node, n)
+		}
+		if ev.T < 0 || math.IsNaN(ev.T) || math.IsInf(ev.T, 0) {
+			return fmt.Errorf("fault: script event %d: time %v must be finite and non-negative", i, ev.T)
+		}
+		if ev.Kind > NodeUndrain {
+			return fmt.Errorf("fault: script event %d: unknown kind %d", i, ev.Kind)
+		}
+	}
+	return nil
+}
+
+// RetryKind selects what happens to a job killed by a node failure.
+type RetryKind uint8
+
+const (
+	// RetryImmediate requeues the job at the kill instant. It is the
+	// zero value, so an unset policy restarts killed jobs — the least
+	// surprising default for a fault-injected run.
+	RetryImmediate RetryKind = iota
+	// RetryNone gives up immediately: killed jobs are never requeued.
+	RetryNone
+	// RetryBackoff requeues after min(Base·2^(kills-1), Cap) seconds.
+	RetryBackoff
+)
+
+// Retry is the policy applied to jobs killed by node failures.
+// MaxAttempts bounds the number of restarts (0 = unlimited); a job
+// killed more than MaxAttempts times is given up.
+type Retry struct {
+	Kind        RetryKind
+	Base        float64 // backoff base delay, simulated seconds
+	Cap         float64 // backoff delay ceiling, simulated seconds
+	MaxAttempts int
+}
+
+// Validate checks the policy parameters.
+func (r Retry) Validate() error {
+	switch r.Kind {
+	case RetryImmediate, RetryNone:
+	case RetryBackoff:
+		if !(r.Base > 0) || math.IsInf(r.Base, 0) {
+			return fmt.Errorf("fault: backoff base must be positive and finite, got %v", r.Base)
+		}
+		if !(r.Cap >= r.Base) || math.IsInf(r.Cap, 0) {
+			return fmt.Errorf("fault: backoff cap must be >= base and finite, got %v", r.Cap)
+		}
+	default:
+		return fmt.Errorf("fault: unknown retry kind %d", r.Kind)
+	}
+	if r.MaxAttempts < 0 {
+		return fmt.Errorf("fault: max attempts must be >= 0, got %d", r.MaxAttempts)
+	}
+	return nil
+}
+
+// Allow reports whether a job killed for the kills-th time (1-based)
+// may be restarted.
+func (r Retry) Allow(kills int) bool {
+	if r.Kind == RetryNone {
+		return false
+	}
+	return r.MaxAttempts == 0 || kills <= r.MaxAttempts
+}
+
+// Delay returns the requeue delay after the kills-th kill (1-based):
+// zero for immediate resubmission, capped exponential backoff
+// otherwise.
+func (r Retry) Delay(kills int) float64 {
+	if r.Kind != RetryBackoff {
+		return 0
+	}
+	d := r.Base
+	for i := 1; i < kills; i++ {
+		d *= 2
+		if d >= r.Cap {
+			return r.Cap
+		}
+	}
+	return math.Min(d, r.Cap)
+}

@@ -1,0 +1,44 @@
+package fault
+
+import "testing"
+
+// FuzzParseDist: no input may panic, and every accepted spec must pass
+// Validate — the CLI relies on parse-time rejection being complete.
+func FuzzParseDist(f *testing.F) {
+	for _, s := range []string{
+		"", "3600", "exp:250", "weibull:100,0.7", "weibull:1e3,2",
+		"exp:", "exp:-1", "exp:inf", "exp:NaN", "weibull:1", "weibull:0,1",
+		"gamma:5", ":", "exp:1e309", "weibull:1,,2", " exp:5 ",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		d, err := ParseDist(s)
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ParseDist(%q) accepted an invalid dist %+v: %v", s, d, verr)
+		}
+	})
+}
+
+// FuzzParseRetry: same contract for retry-policy specs.
+func FuzzParseRetry(f *testing.F) {
+	for _, s := range []string{
+		"", "none", "immediate", "immediate:3", "backoff:10,300",
+		"backoff:10,300,5", "backoff:10", "backoff:0,1", "backoff:2,1",
+		"immediate:-1", "none:1", "bogus", ":", "backoff:1e308,1e309",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		r, err := ParseRetry(s)
+		if err != nil {
+			return
+		}
+		if verr := r.Validate(); verr != nil {
+			t.Fatalf("ParseRetry(%q) accepted an invalid policy %+v: %v", s, r, verr)
+		}
+	})
+}

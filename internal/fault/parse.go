@@ -1,0 +1,131 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ParseDist parses a CLI lifetime-distribution spec:
+//
+//	""                    disabled
+//	"MEAN"                exponential with the given mean (seconds)
+//	"exp:MEAN"            exponential
+//	"weibull:MEAN,SHAPE"  Weibull with mean and shape
+//
+// Means and shapes must be positive finite numbers.
+func ParseDist(s string) (Dist, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Dist{}, nil
+	}
+	family, arg := "exp", s
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		family, arg = s[:i], s[i+1:]
+	}
+	switch family {
+	case "exp":
+		mean, err := parsePositive(arg, "mean")
+		if err != nil {
+			return Dist{}, err
+		}
+		return Dist{Kind: DistExponential, Mean: mean}, nil
+	case "weibull":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 {
+			return Dist{}, fmt.Errorf("fault: weibull spec wants MEAN,SHAPE, got %q", arg)
+		}
+		mean, err := parsePositive(parts[0], "mean")
+		if err != nil {
+			return Dist{}, err
+		}
+		shape, err := parsePositive(parts[1], "shape")
+		if err != nil {
+			return Dist{}, err
+		}
+		return Dist{Kind: DistWeibull, Mean: mean, Shape: shape}, nil
+	}
+	return Dist{}, fmt.Errorf("fault: unknown distribution family %q (want exp or weibull)", family)
+}
+
+// ParseRetry parses a CLI retry-policy spec:
+//
+//	"none"                 killed jobs are given up immediately
+//	"immediate"            resubmit at the kill instant, unlimited
+//	"immediate:N"          resubmit, give up after N kills
+//	"backoff:BASE,CAP"     capped exponential backoff, unlimited
+//	"backoff:BASE,CAP,N"   backoff, give up after N kills
+//
+// The empty string parses as "immediate".
+func ParseRetry(s string) (Retry, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return Retry{Kind: RetryImmediate}, nil
+	}
+	kind, arg := s, ""
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		kind, arg = s[:i], s[i+1:]
+	}
+	switch kind {
+	case "none":
+		if arg != "" {
+			return Retry{}, fmt.Errorf("fault: retry policy none takes no arguments, got %q", arg)
+		}
+		return Retry{Kind: RetryNone}, nil
+	case "immediate":
+		r := Retry{Kind: RetryImmediate}
+		if arg != "" {
+			n, err := parseAttempts(arg)
+			if err != nil {
+				return Retry{}, err
+			}
+			r.MaxAttempts = n
+		}
+		return r, nil
+	case "backoff":
+		parts := strings.Split(arg, ",")
+		if len(parts) != 2 && len(parts) != 3 {
+			return Retry{}, fmt.Errorf("fault: backoff spec wants BASE,CAP[,N], got %q", arg)
+		}
+		base, err := parsePositive(parts[0], "backoff base")
+		if err != nil {
+			return Retry{}, err
+		}
+		cap, err := parsePositive(parts[1], "backoff cap")
+		if err != nil {
+			return Retry{}, err
+		}
+		r := Retry{Kind: RetryBackoff, Base: base, Cap: cap}
+		if len(parts) == 3 {
+			n, err := parseAttempts(parts[2])
+			if err != nil {
+				return Retry{}, err
+			}
+			r.MaxAttempts = n
+		}
+		if err := r.Validate(); err != nil {
+			return Retry{}, err
+		}
+		return r, nil
+	}
+	return Retry{}, fmt.Errorf("fault: unknown retry policy %q (want none, immediate[:N] or backoff:BASE,CAP[,N])", kind)
+}
+
+// parsePositive parses a strictly positive finite float.
+func parsePositive(s, what string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) || v <= 0 {
+		return 0, fmt.Errorf("fault: %s must be a positive finite number, got %q", what, s)
+	}
+	return v, nil
+}
+
+// parseAttempts parses a positive attempt bound.
+func parseAttempts(s string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimSpace(s))
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("fault: attempt bound must be a positive integer, got %q", s)
+	}
+	return n, nil
+}

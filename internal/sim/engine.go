@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"meshalloc/internal/alloc"
 	"meshalloc/internal/comm"
+	"meshalloc/internal/fault"
 	"meshalloc/internal/netsim"
 	"meshalloc/internal/sched"
 	"meshalloc/internal/stats"
@@ -121,6 +123,12 @@ type runningJob struct {
 	pending  comm.Msg // first message of the next phase (phased mode)
 	havePend bool
 	estEnd   float64 // nominal end for backfilling estimates
+	// dead marks a job killed by a node failure. Its one outstanding
+	// step/finish event still sits in the heap holding this pointer, so
+	// the struct is recycled when that stale event pops, not at kill
+	// time — recycling earlier would hand a pooled struct to a new job
+	// while the heap still references it.
+	dead bool
 }
 
 // Engine is the resumable discrete-event core of the simulator. Where
@@ -191,6 +199,27 @@ type Engine struct {
 	// with a larger horizon resumes with it instead of losing it.
 	held    trace.Job
 	hasHeld bool
+
+	// Fault-injection state; all nil/zero on a fault-free engine, and
+	// every hot-path touch is gated on faults != nil so the fault-free
+	// event loop is unchanged instruction for instruction.
+	faults     *fault.Stream
+	nextFault  fault.Event // pending head of the stream, time already scaled
+	hasFault   bool
+	faultable  alloc.FaultAware
+	down       []bool        // hard-failed nodes
+	drained    []bool        // administratively drained nodes
+	masked     []bool        // nodes currently marked down in the allocator
+	owner      []*runningJob // occupying job per node, for O(1) kill lookup
+	flagged    int           // count of down-or-drained nodes
+	maskedN    int           // count of masked nodes
+	killCount  map[int]int   // kills per job ID, for retry bookkeeping
+	maskBuf    [1]int        // single-node delta scratch for observers
+	killed     int
+	retried    int
+	givenUp    int
+	wastedArea float64 // processor-seconds consumed by later-killed jobs
+	downArea   float64 // node-seconds masked out of service
 }
 
 // NewEngine validates cfg and builds an idle engine with an empty queue
@@ -233,7 +262,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 	}
 	_, isFCFS := policy.(sched.FCFS)
 	batcher, _ := allocator.(alloc.BatchAllocator)
-	return &Engine{
+	e := &Engine{
 		cfg:        cfg,
 		grid:       m,
 		allocator:  allocator,
@@ -245,7 +274,59 @@ func NewEngine(cfg Config) (*Engine, error) {
 		rng:        stats.NewRNG(cfg.Seed),
 		runSet:     map[*runningJob]bool{},
 		respMedian: stats.NewP2Quantile(0.5),
-	}, nil
+	}
+	if cfg.Faults.Enabled() {
+		if err := e.initFaults(); err != nil {
+			return nil, err
+		}
+	}
+	return e, nil
+}
+
+// initFaults validates the fault configuration and arms the engine's
+// fault state. The failure clocks default to the run seed so a plain
+// Config{Seed: s, Faults: ...} is fully determined by s.
+func (e *Engine) initFaults() error {
+	fc := e.cfg.Faults
+	if fc.Seed == 0 {
+		fc.Seed = e.cfg.Seed
+	}
+	fa, ok := e.allocator.(alloc.FaultAware)
+	if !ok {
+		return fmt.Errorf("sim: allocator %s cannot mask failed nodes; fault injection needs a FaultAware allocator (mc, mc1x1, genalg, random, or a curve/strategy form)",
+			e.allocator.Name())
+	}
+	if err := e.cfg.Retry.Validate(); err != nil {
+		return err
+	}
+	s, err := fault.NewStream(fc, e.grid.Size())
+	if err != nil {
+		return err
+	}
+	n := e.grid.Size()
+	e.faults = s
+	e.faultable = fa
+	e.down = make([]bool, n)
+	e.drained = make([]bool, n)
+	e.masked = make([]bool, n)
+	e.owner = make([]*runningJob, n)
+	e.killCount = map[int]int{}
+	e.advanceFault()
+	return nil
+}
+
+// advanceFault pulls the next stream event into the pending slot,
+// contracting its time by TimeScale exactly as job runtimes are (node
+// lifetimes are machine wall clock, so Load — an arrival-rate knob —
+// does not apply).
+func (e *Engine) advanceFault() {
+	ev, ok := e.faults.Next()
+	if !ok {
+		e.hasFault = false
+		return
+	}
+	ev.T *= e.cfg.TimeScale
+	e.nextFault, e.hasFault = ev, true
 }
 
 // Observe registers fn to be called with every finished job's record,
@@ -278,18 +359,54 @@ func (e *Engine) RunningJobs() int { return len(e.runSet) }
 // Finished returns the number of jobs that have completed.
 func (e *Engine) Finished() int { return e.finished }
 
+// ErrOversize is the sentinel matched by errors.Is for jobs rejected
+// because they can never (or, under strict capacity, currently cannot)
+// be placed. The concrete error is an *OversizeError carrying the
+// numbers.
+var ErrOversize = errors.New("sim: job exceeds machine capacity")
+
+// OversizeError reports a job rejected at Submit because its size
+// exceeds Capacity — the whole machine, or, when Strict is set, the
+// currently available (not failed, not drained) node count. Failing
+// fast here, with the numbers attached, beats the old behaviour of
+// letting the job sit queued until Deadlocked() tripped at the end of
+// the run.
+type OversizeError struct {
+	ID       int
+	Size     int
+	Capacity int
+	Strict   bool // rejection against available rather than total capacity
+}
+
+// Error implements error.
+func (e *OversizeError) Error() string {
+	if e.Strict {
+		return fmt.Sprintf("sim: job %d needs %d processors, only %d currently in service",
+			e.ID, e.Size, e.Capacity)
+	}
+	return fmt.Sprintf("sim: job %d needs %d processors, machine has %d (filter the trace first)",
+		e.ID, e.Size, e.Capacity)
+}
+
+// Is reports equality against the ErrOversize sentinel.
+func (e *OversizeError) Is(target error) bool { return target == ErrOversize }
+
 // Submit injects a job given in original (unscaled) trace units: the
 // engine applies Load to its arrival and TimeScale to both arrival and
 // runtime, exactly as Run scales a whole trace. Jobs may be submitted
 // while the clock runs; an arrival already in the past is clamped to
-// the current clock. Oversized jobs are rejected.
+// the current clock. Oversized jobs are rejected with an *OversizeError
+// (errors.Is(err, ErrOversize)); with Faults.StrictCapacity set, so are
+// jobs larger than the currently available node count.
 func (e *Engine) Submit(j trace.Job) error {
 	if j.Size > e.grid.Size() {
-		return fmt.Errorf("sim: job %d needs %d processors, machine has %d (filter the trace first)",
-			j.ID, j.Size, e.grid.Size())
+		return &OversizeError{ID: j.ID, Size: j.Size, Capacity: e.grid.Size()}
 	}
 	if j.Size <= 0 {
 		return fmt.Errorf("sim: job %d has invalid size %d", j.ID, j.Size)
+	}
+	if e.cfg.Faults.StrictCapacity && j.Size > e.grid.Size()-e.flagged {
+		return &OversizeError{ID: j.ID, Size: j.Size, Capacity: e.grid.Size() - e.flagged, Strict: true}
 	}
 	// Mirror Trace.ScaleLoad followed by Trace.ScaleTime operation for
 	// operation so batch outputs stay bit-identical.
@@ -304,8 +421,28 @@ func (e *Engine) Submit(j trace.Job) error {
 }
 
 // Step processes the single earliest event and returns true, or returns
-// false when no events remain.
+// false when no events remain. Fault events interleave by time with job
+// events; on an exact tie the fault applies first, so a job finishing
+// at the instant its node dies is killed, not completed — the
+// conservative reading, and the ordering contract DESIGN.md documents.
 func (e *Engine) Step() bool {
+	if e.hasFault {
+		if len(e.events) == 0 {
+			// No job events left. Keep the machine evolving only while
+			// queued work could still be unblocked by a repair;
+			// otherwise the run is over and the infinite failure
+			// stream must not keep it alive.
+			if len(e.queue) == 0 {
+				return false
+			}
+			e.processFault()
+			return true
+		}
+		if e.nextFault.T <= e.events[0].t {
+			e.processFault()
+			return true
+		}
+	}
 	if len(e.events) == 0 {
 		return false
 	}
@@ -334,18 +471,45 @@ func (e *Engine) Step() bool {
 		}
 		e.trySchedule(ev.t)
 	case kindStep:
+		if ev.job.dead {
+			e.recycle(ev.job)
+			break
+		}
 		e.step(ev.job, ev.t)
 	case kindFinish:
+		if ev.job.dead {
+			e.recycle(ev.job)
+			break
+		}
 		e.finish(ev.job, ev.t)
 	}
 	return true
 }
 
+// recycle returns a killed job's struct to the pool once its stale
+// heap event — the last live reference — has popped.
+func (e *Engine) recycle(rj *runningJob) {
+	*rj = runningJob{}
+	e.rjPool = append(e.rjPool, rj)
+}
+
 // RunUntil processes every event with time <= t (scaled simulation
-// time) and advances the clock and occupancy accounting to t.
+// time) and advances the clock and occupancy accounting to t. Pending
+// fault events up to t are applied even when no job event forces them,
+// so the machine's availability (and its down-time accounting) is
+// current at t for the next submission.
 func (e *Engine) RunUntil(t float64) {
-	for len(e.events) > 0 && e.events[0].t <= t {
-		e.Step()
+	for {
+		if e.hasFault && e.nextFault.T <= t &&
+			(len(e.events) == 0 || e.nextFault.T <= e.events[0].t) {
+			e.processFault()
+			continue
+		}
+		if len(e.events) > 0 && e.events[0].t <= t {
+			e.Step()
+			continue
+		}
+		break
 	}
 	e.account(t)
 	if t > e.now {
@@ -361,9 +525,11 @@ func (e *Engine) Drain() {
 
 // Deadlocked reports whether the engine has no events left but jobs
 // still queued or running — the state batch Run reports as an error
-// (a contiguous allocator can strand the queue head forever).
+// (a contiguous allocator can strand the queue head forever). Pending
+// fault events count as events: a queued job stuck behind failed nodes
+// is only deadlocked once the repair stream has nothing more to offer.
 func (e *Engine) Deadlocked() bool {
-	return len(e.events) == 0 && (len(e.queue) > 0 || len(e.runSet) > 0)
+	return len(e.events) == 0 && !e.hasFault && (len(e.queue) > 0 || len(e.runSet) > 0)
 }
 
 // RunSource pumps src into the engine lazily: each job is submitted
@@ -440,6 +606,17 @@ func (e *Engine) Result() *Result {
 		res.UtilizationPct = 100 * e.busyArea / (e.lastAccount * float64(e.grid.Size()))
 		res.MeanQueueLen = e.queueArea / e.lastAccount
 	}
+	res.Killed = e.killed
+	res.Retried = e.retried
+	res.GivenUp = e.givenUp
+	if e.busyArea > 0 {
+		res.WastedPct = 100 * e.wastedArea / e.busyArea
+	}
+	if e.lastAccount > 0 {
+		area := e.lastAccount * float64(e.grid.Size())
+		res.DownPct = 100 * e.downArea / area
+		res.GoodputPct = 100 * (e.busyArea - e.wastedArea) / area
+	}
 	return res
 }
 
@@ -448,8 +625,144 @@ func (e *Engine) account(now float64) {
 	if now > e.lastAccount {
 		e.busyArea += float64(e.busyProcs) * (now - e.lastAccount)
 		e.queueArea += float64(len(e.queue)) * (now - e.lastAccount)
+		e.downArea += float64(e.maskedN) * (now - e.lastAccount)
 		e.lastAccount = now
 	}
+}
+
+// processFault applies the pending fault event and pulls the next one
+// from the stream. Availability flags (down, drained) and the
+// allocator mask are kept separate: a node is masked in the allocator
+// exactly when it is flagged unavailable and not occupied by a running
+// job — an occupied node hit by NodeDown is masked right after its
+// job's release, and a drained node's job runs to completion with the
+// mask applied at finish.
+func (e *Engine) processFault() {
+	ev := e.nextFault
+	e.advanceFault()
+	e.account(ev.T)
+	if ev.T > e.now {
+		e.now = ev.T
+	}
+	n := ev.Node
+	switch ev.Kind {
+	case fault.NodeDown:
+		if e.down[n] {
+			break
+		}
+		e.setFlag(n, true, true)
+		if rj := e.owner[n]; rj != nil {
+			e.killJob(rj, e.now)
+		} else if !e.masked[n] {
+			e.mask(n)
+		}
+	case fault.NodeUp:
+		if !e.down[n] {
+			break
+		}
+		e.setFlag(n, true, false)
+		if e.masked[n] && !e.drained[n] {
+			e.unmask(n)
+			e.trySchedule(e.now)
+		}
+	case fault.NodeDrain:
+		if e.drained[n] {
+			break
+		}
+		e.setFlag(n, false, true)
+		if e.owner[n] == nil && !e.masked[n] {
+			e.mask(n)
+		}
+	case fault.NodeUndrain:
+		if !e.drained[n] {
+			break
+		}
+		e.setFlag(n, false, false)
+		if e.masked[n] && !e.down[n] {
+			e.unmask(n)
+			e.trySchedule(e.now)
+		}
+	}
+}
+
+// setFlag sets the down (isDown true) or drained flag of node n and
+// maintains the count of unavailable nodes behind strict-capacity
+// submission.
+func (e *Engine) setFlag(n int, isDown, v bool) {
+	was := e.down[n] || e.drained[n]
+	if isDown {
+		e.down[n] = v
+	} else {
+		e.drained[n] = v
+	}
+	is := e.down[n] || e.drained[n]
+	if is && !was {
+		e.flagged++
+	} else if was && !is {
+		e.flagged--
+	}
+}
+
+// mask marks a free node busy in the allocator — occupancy indexes,
+// word scans and free counts all see it as taken — and notifies delta
+// observers so external free-map mirrors track fault masking exactly
+// like allocations.
+func (e *Engine) mask(n int) {
+	e.faultable.MarkDown(n)
+	e.masked[n] = true
+	e.maskedN++
+	e.maskBuf[0] = n
+	for _, fn := range e.deltaObs {
+		fn(e.now, e.maskBuf[:], true)
+	}
+}
+
+// unmask returns a masked node to the allocator's free set.
+func (e *Engine) unmask(n int) {
+	e.faultable.MarkUp(n)
+	e.masked[n] = false
+	e.maskedN--
+	e.maskBuf[0] = n
+	for _, fn := range e.deltaObs {
+		fn(e.now, e.maskBuf[:], false)
+	}
+}
+
+// killJob tears down a running job hit by a node failure: release its
+// processors (re-masking the members flagged down or drained), account
+// the work lost, and requeue or abandon the job per the retry policy.
+// The release may free survivors that admit queued jobs, so the
+// scheduler runs before returning.
+func (e *Engine) killJob(rj *runningJob, now float64) {
+	delete(e.runSet, rj)
+	e.allocator.Release(rj.nodes)
+	e.busyProcs -= rj.job.Size
+	for _, fn := range e.deltaObs {
+		fn(now, rj.nodes, false)
+	}
+	e.wastedArea += float64(rj.job.Size) * (now - rj.start)
+	for _, id := range rj.nodes {
+		e.owner[id] = nil
+		if (e.down[id] || e.drained[id]) && !e.masked[id] {
+			e.mask(id)
+		}
+	}
+	job := rj.job
+	e.killed++
+	e.killCount[job.ID]++
+	kills := e.killCount[job.ID]
+	// The job's one outstanding step/finish event still references the
+	// struct; recycling happens when that stale event pops.
+	*rj = runningJob{dead: true}
+	if e.cfg.Retry.Allow(kills) {
+		e.retried++
+		delay := e.cfg.Retry.Delay(kills) * e.cfg.TimeScale
+		e.push(event{t: now + delay, kind: kindArrival, arr: job})
+	} else {
+		e.givenUp++
+		delete(e.killCount, job.ID)
+	}
+	e.trySchedule(now)
 }
 
 func (e *Engine) push(ev event) {
@@ -581,6 +894,11 @@ func (e *Engine) startJob(job trace.Job, nodes []int, now float64) {
 	}
 	e.runSet[rj] = true
 	e.busyProcs += job.Size
+	if e.owner != nil {
+		for _, id := range nodes {
+			e.owner[id] = rj
+		}
+	}
 	for _, fn := range e.deltaObs {
 		fn(now, nodes, true)
 	}
@@ -595,6 +913,17 @@ func (e *Engine) finish(rj *runningJob, now float64) {
 	e.busyProcs -= rj.job.Size
 	for _, fn := range e.deltaObs {
 		fn(now, rj.nodes, false)
+	}
+	if e.owner != nil {
+		// A drained node lets its occupying job finish; the mask lands
+		// here, the moment the release frees it.
+		for _, id := range rj.nodes {
+			e.owner[id] = nil
+			if (e.down[id] || e.drained[id]) && !e.masked[id] {
+				e.mask(id)
+			}
+		}
+		delete(e.killCount, rj.job.ID)
 	}
 	end := rj.lastArr
 	if end < now {

@@ -25,6 +25,7 @@ package sim
 import (
 	"fmt"
 
+	"meshalloc/internal/fault"
 	"meshalloc/internal/netsim"
 	"meshalloc/internal/trace"
 )
@@ -125,6 +126,21 @@ type Config struct {
 	// way — so this knob only trades goroutines for wall clock. 0 or 1
 	// keeps the sequential loop; other allocators ignore it.
 	AllocWorkers int
+	// Faults injects node failure/repair events (see fault.Config). The
+	// zero value disables injection, leaving every code path and output
+	// bit-identical to a fault-free engine. Fault times (MTBF/MTTR
+	// draws, script times, retry delays) are given in original trace
+	// seconds and contracted by TimeScale like job runtimes. When
+	// Faults.Seed is zero, Seed derives the failure clocks. The
+	// configured allocator must implement alloc.FaultAware; NewEngine
+	// rejects contiguous baselines (submesh, buddy, paged forms) that
+	// cannot mask individual nodes.
+	Faults fault.Config
+	// Retry is the policy for jobs killed by a node failure (see
+	// fault.Retry). The zero value resubmits killed jobs immediately
+	// with no attempt bound; parse "none", "immediate[:N]" or
+	// "backoff:BASE,CAP[,N]" specs with fault.ParseRetry.
+	Retry fault.Retry
 }
 
 // withDefaults fills zero fields with the paper-experiment defaults.
@@ -217,6 +233,19 @@ type Result struct {
 	UtilizationPct float64
 	// MeanQueueLen is the time-weighted mean number of queued jobs.
 	MeanQueueLen float64
+
+	// Fault-injection outcomes; all zero on a fault-free run. Killed
+	// counts job kills by node failures (a job killed twice counts
+	// twice), Retried the kills followed by a resubmission, GivenUp the
+	// jobs abandoned by the retry policy.
+	Killed, Retried, GivenUp int
+	// WastedPct is the percentage of consumed processor-seconds thrown
+	// away by kills (work a job had accumulated when a failure killed
+	// it). GoodputPct is the time-weighted percentage of the machine
+	// doing work that eventually completed — utilization minus waste.
+	// DownPct is the time-weighted percentage of the machine masked out
+	// by failures or drains.
+	WastedPct, GoodputPct, DownPct float64
 }
 
 // Run simulates the trace under cfg and returns the per-job records. The

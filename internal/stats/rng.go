@@ -34,3 +34,51 @@ func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }
+
+// splitmix64 constants (Vigna): the golden-ratio increment and the two
+// finalizer multipliers. Mix64 and Splitmix64 share them so a derived
+// stream seed and the stream's own state walk use the same mixer.
+const (
+	smixGamma = 0x9e3779b97f4a7c15
+	smixMul1  = 0xbf58476d1ce4e5b9
+	smixMul2  = 0x94d049bb133111eb
+)
+
+// smix64 applies the splitmix64 finalizer to z.
+func smix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * smixMul1
+	z = (z ^ (z >> 27)) * smixMul2
+	return z ^ (z >> 31)
+}
+
+// Mix64 derives the seed of stream number `stream` from a base seed:
+// one splitmix64 step at offset stream. Streams are well separated for
+// any stream index, so per-node or per-replication generators can be
+// minted independently of iteration order — the property the parallel
+// fabric and the fault injector both rely on for bit-reproducibility
+// at any worker count.
+func Mix64(base int64, stream int) int64 {
+	return int64(smix64(uint64(base) + uint64(stream)*smixGamma))
+}
+
+// Splitmix64 is a tiny counter-based generator: 8 bytes of state, one
+// multiply-xorshift per variate, no allocation. It backs the fault
+// injector's per-node failure clocks, where thousands of independent
+// streams must be cheap to mint and advance lazily.
+type Splitmix64 struct {
+	state uint64
+}
+
+// NewSplitmix64 returns a generator seeded with seed.
+func NewSplitmix64(seed int64) *Splitmix64 { return &Splitmix64{state: uint64(seed)} }
+
+// Next returns the next raw 64-bit value.
+func (g *Splitmix64) Next() uint64 {
+	g.state += smixGamma
+	return smix64(g.state)
+}
+
+// Float64 returns a uniform variate in [0,1) with 53 random bits.
+func (g *Splitmix64) Float64() float64 {
+	return float64(g.Next()>>11) / (1 << 53)
+}

@@ -63,3 +63,45 @@ func FuzzReadSWF(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadSWFLenient checks the lenient SWF reader never errors or
+// panics on corrupt input, that every parsed job is valid, and that it
+// agrees with the strict reader whenever the strict reader succeeds.
+func FuzzReadSWFLenient(f *testing.F) {
+	f.Add("; hdr\n1 100 5 3600 16 -1 -1 16 7200 -1 1 3 1 1 1 1 -1 -1\n")
+	f.Add("truncated line\n1 2 3 4 5 6 7 8\n")
+	f.Add("1 NaN 5 60 4 -1 -1 4 0\n1 10 5 60 4 -1 -1 4 0\n")
+	f.Add("1 -5 5 60 4 -1 -1 4 0\n;\n\n9 9 9\n")
+	f.Add("1 1e308 5 1e308 4 -1 -1 4 0\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, skips, err := ReadSWFLenient(strings.NewReader(input))
+		if err != nil {
+			t.Fatalf("lenient reader errored on in-memory input: %v", err)
+		}
+		for _, j := range tr.Jobs {
+			if j.Size <= 0 || j.Runtime <= 0 || j.Arrival < 0 {
+				t.Fatalf("invalid lenient swf job %+v", j)
+			}
+		}
+		for _, s := range skips {
+			if s.Line <= 0 || s.Reason == "" {
+				t.Fatalf("malformed skip diagnostic %+v", s)
+			}
+		}
+		strictTr, strictErr := ReadSWF(strings.NewReader(input))
+		if strictErr != nil {
+			return
+		}
+		// Strict success means no malformed lines: the readers must
+		// agree and every lenient skip is a conventional job skip.
+		if len(strictTr.Jobs) != len(tr.Jobs) {
+			t.Fatalf("strict %d jobs vs lenient %d", len(strictTr.Jobs), len(tr.Jobs))
+		}
+		for _, s := range skips {
+			if !strings.HasPrefix(s.Reason, "skipped") {
+				t.Fatalf("strict reader passed but lenient flagged %v", s)
+			}
+		}
+	})
+}

@@ -4,10 +4,24 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
 )
+
+// SWFSkip is one line the lenient SWF reader dropped, with the
+// 1-based line number and the reason — the diagnostics a silent skip
+// would hide.
+type SWFSkip struct {
+	Line   int
+	Reason string
+}
+
+// String implements fmt.Stringer.
+func (s SWFSkip) String() string {
+	return fmt.Sprintf("line %d: %s", s.Line, s.Reason)
+}
 
 // ReadSWF parses a trace in the Standard Workload Format (SWF) used by
 // the Parallel Workloads Archive, which distributes the SDSC Paragon
@@ -17,12 +31,32 @@ import (
 // falling back to requested processors, field 8, when allocation was not
 // recorded).
 //
-// Jobs with unknown (-1) or non-positive size or runtime are skipped, as
-// is conventional when replaying SWF traces. Jobs are sorted by submit
-// time and renumbered; submit times are rebased so the first job arrives
-// at 0.
+// Malformed lines abort the read with a line-numbered error. Jobs with
+// unknown (-1) or non-positive size or runtime are skipped, as is
+// conventional when replaying SWF traces. Jobs are sorted by submit
+// time and renumbered; submit times are rebased so the first job
+// arrives at 0.
 func ReadSWF(r io.Reader) (*Trace, error) {
+	t, _, err := readSWF(r, false)
+	return t, err
+}
+
+// ReadSWFLenient parses SWF like ReadSWF but tolerates malformed job
+// lines: instead of aborting, every dropped line — malformed or
+// skipped by the unknown/cancelled-job convention — is reported as a
+// line-numbered SWFSkip. The error is non-nil only for I/O failures,
+// so archive files with stray garbage still replay, with an exact
+// record of what was ignored.
+func ReadSWFLenient(r io.Reader) (*Trace, []SWFSkip, error) {
+	return readSWF(r, true)
+}
+
+// readSWF is the shared scanner under both entry points. In strict
+// mode a malformed line returns an error; in lenient mode it becomes a
+// diagnostic and the scan continues.
+func readSWF(r io.Reader, lenient bool) (*Trace, []SWFSkip, error) {
 	t := &Trace{}
+	var skips []SWFSkip
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	line := 0
@@ -32,34 +66,21 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 		if text == "" || strings.HasPrefix(text, ";") {
 			continue
 		}
-		fields := strings.Fields(text)
-		if len(fields) < 8 {
-			return nil, fmt.Errorf("trace: swf line %d: want >= 8 fields, got %d", line, len(fields))
-		}
-		submit, err := strconv.ParseFloat(fields[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: swf line %d: bad submit time %q", line, fields[1])
-		}
-		runtime, err := strconv.ParseFloat(fields[3], 64)
-		if err != nil {
-			return nil, fmt.Errorf("trace: swf line %d: bad run time %q", line, fields[3])
-		}
-		procs, err := strconv.Atoi(fields[4])
-		if err != nil {
-			return nil, fmt.Errorf("trace: swf line %d: bad processor count %q", line, fields[4])
-		}
-		if procs <= 0 {
-			if procs, err = strconv.Atoi(fields[7]); err != nil {
-				return nil, fmt.Errorf("trace: swf line %d: bad requested processors %q", line, fields[7])
+		j, reason := parseSWFLine(text)
+		if reason != "" {
+			malformed := !strings.HasPrefix(reason, "skipped")
+			if malformed && !lenient {
+				return nil, nil, fmt.Errorf("trace: swf line %d: %s", line, reason)
 			}
+			if lenient {
+				skips = append(skips, SWFSkip{Line: line, Reason: reason})
+			}
+			continue
 		}
-		if procs <= 0 || runtime <= 0 || submit < 0 {
-			continue // unknown or cancelled jobs, per SWF convention
-		}
-		t.Jobs = append(t.Jobs, Job{Arrival: submit, Size: procs, Runtime: runtime})
+		t.Jobs = append(t.Jobs, j)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sort.SliceStable(t.Jobs, func(i, k int) bool { return t.Jobs[i].Arrival < t.Jobs[k].Arrival })
 	if len(t.Jobs) > 0 {
@@ -69,5 +90,37 @@ func ReadSWF(r io.Reader) (*Trace, error) {
 			t.Jobs[i].ID = i
 		}
 	}
-	return t, nil
+	return t, skips, nil
+}
+
+// parseSWFLine parses one non-comment SWF line into a job. A non-empty
+// reason means the line carries no job: reasons starting with
+// "skipped" are the conventional unknown/cancelled-job skips (never an
+// error), everything else is a malformed line.
+func parseSWFLine(text string) (Job, string) {
+	fields := strings.Fields(text)
+	if len(fields) < 8 {
+		return Job{}, fmt.Sprintf("want >= 8 fields, got %d", len(fields))
+	}
+	submit, err := strconv.ParseFloat(fields[1], 64)
+	if err != nil || math.IsNaN(submit) || math.IsInf(submit, 0) {
+		return Job{}, fmt.Sprintf("bad submit time %q", fields[1])
+	}
+	runtime, err := strconv.ParseFloat(fields[3], 64)
+	if err != nil || math.IsNaN(runtime) || math.IsInf(runtime, 0) {
+		return Job{}, fmt.Sprintf("bad run time %q", fields[3])
+	}
+	procs, err := strconv.Atoi(fields[4])
+	if err != nil {
+		return Job{}, fmt.Sprintf("bad processor count %q", fields[4])
+	}
+	if procs <= 0 {
+		if procs, err = strconv.Atoi(fields[7]); err != nil {
+			return Job{}, fmt.Sprintf("bad requested processors %q", fields[7])
+		}
+	}
+	if procs <= 0 || runtime <= 0 || submit < 0 {
+		return Job{}, "skipped unknown or cancelled job" // per SWF convention
+	}
+	return Job{Arrival: submit, Size: procs, Runtime: runtime}, ""
 }

@@ -60,3 +60,61 @@ func TestReadSWFEmpty(t *testing.T) {
 		t.Fatalf("empty swf: %v, %v", tr, err)
 	}
 }
+
+// swfCorrupt interleaves valid jobs with every malformation class the
+// lenient reader must survive.
+const swfCorrupt = `; archive with stray garbage
+1 100 5 3600 16 -1 -1 16 7200 -1 1 3 1 1 1 1 -1 -1
+truncated line
+2 x 5 1800 8 -1 -1 8 3600 -1 1 4 1 1 1 1 -1 -1
+3 200 5 NaN 8 -1 -1 8 600 -1 1 5 1 1 1 1 -1 -1
+4 300 1 120 4 -1 -1 4 240 -1 1 5 1 1 1 1 -1 -1
+5 400 9 -1 8 -1 -1 8 600 -1 0 5 1 1 1 1 -1 -1
+`
+
+func TestReadSWFLenient(t *testing.T) {
+	tr, skips, err := ReadSWFLenient(strings.NewReader(swfCorrupt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Jobs) != 2 {
+		t.Fatalf("%d jobs, want 2 (the well-formed lines)", len(tr.Jobs))
+	}
+	if tr.Jobs[0].Size != 16 || tr.Jobs[1].Size != 4 {
+		t.Fatalf("jobs = %+v", tr.Jobs)
+	}
+	// One skip per dropped line, each naming its 1-based line number.
+	want := map[int]string{3: "fields", 4: "submit", 5: "run time", 7: "skipped"}
+	if len(skips) != len(want) {
+		t.Fatalf("skips = %v, want %d entries", skips, len(want))
+	}
+	for _, s := range skips {
+		frag, ok := want[s.Line]
+		if !ok {
+			t.Errorf("unexpected skip %v", s)
+			continue
+		}
+		if !strings.Contains(s.Reason, frag) {
+			t.Errorf("skip %v does not mention %q", s, frag)
+		}
+		if !strings.Contains(s.String(), "line ") {
+			t.Errorf("skip string %q lacks line number", s.String())
+		}
+	}
+	// The same input aborts the strict reader at the first bad line.
+	if _, err := ReadSWF(strings.NewReader(swfCorrupt)); err == nil ||
+		!strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("strict reader error = %v, want line-3 failure", err)
+	}
+}
+
+func TestReadSWFRejectsNonFinite(t *testing.T) {
+	for _, in := range []string{
+		"1 NaN 5 60 4 -1 -1 4 0 0 0 0 0 0 0 0 0 0\n",
+		"1 10 5 +Inf 4 -1 -1 4 0 0 0 0 0 0 0 0 0 0\n",
+	} {
+		if _, err := ReadSWF(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadSWF(%q) accepted a non-finite field", in)
+		}
+	}
+}

@@ -44,7 +44,10 @@
 package meshalloc
 
 import (
+	"io"
+
 	"meshalloc/internal/core"
+	"meshalloc/internal/fault"
 	"meshalloc/internal/sim"
 	"meshalloc/internal/trace"
 )
@@ -97,6 +100,63 @@ type Job = trace.Job
 
 // SDSCConfig parameterizes the synthetic SDSC Paragon workload.
 type SDSCConfig = trace.SDSCConfig
+
+// FaultConfig injects deterministic node failure/repair streams into a
+// run via Config.Faults; the zero value disables injection. See
+// fault.Config.
+type FaultConfig = fault.Config
+
+// FaultDist is a node lifetime (MTBF/MTTR) distribution.
+type FaultDist = fault.Dist
+
+// FaultEvent is one scripted node state transition.
+type FaultEvent = fault.Event
+
+// RetryPolicy governs jobs killed by node failures; set via
+// Config.Retry. See fault.Retry.
+type RetryPolicy = fault.Retry
+
+// Fault event kinds and distribution families.
+const (
+	NodeDown        = fault.NodeDown
+	NodeUp          = fault.NodeUp
+	NodeDrain       = fault.NodeDrain
+	NodeUndrain     = fault.NodeUndrain
+	DistExponential = fault.DistExponential
+	DistWeibull     = fault.DistWeibull
+	RetryImmediate  = fault.RetryImmediate
+	RetryNone       = fault.RetryNone
+	RetryBackoff    = fault.RetryBackoff
+)
+
+// ParseFaultDist parses an MTBF/MTTR spec: "MEAN", "exp:MEAN" or
+// "weibull:MEAN,SHAPE". See fault.ParseDist.
+func ParseFaultDist(spec string) (FaultDist, error) { return fault.ParseDist(spec) }
+
+// ParseRetryPolicy parses "none", "immediate[:N]" or
+// "backoff:BASE,CAP[,N]". See fault.ParseRetry.
+func ParseRetryPolicy(spec string) (RetryPolicy, error) { return fault.ParseRetry(spec) }
+
+// ErrOversize is matched (via errors.Is) by the typed error
+// Engine.Submit returns for jobs that can never be placed.
+var ErrOversize = sim.ErrOversize
+
+// OversizeError carries the offending job and capacity details of an
+// ErrOversize rejection.
+type OversizeError = sim.OversizeError
+
+// SWFSkip is a line-numbered diagnostic from the lenient SWF reader.
+type SWFSkip = trace.SWFSkip
+
+// ReadSWFTrace parses a Standard Workload Format trace strictly:
+// malformed lines abort with a line-numbered error. See trace.ReadSWF.
+func ReadSWFTrace(r io.Reader) (*Trace, error) { return trace.ReadSWF(r) }
+
+// ReadSWFTraceLenient parses SWF tolerantly, reporting every dropped
+// line as a diagnostic instead of aborting. See trace.ReadSWFLenient.
+func ReadSWFTraceLenient(r io.Reader) (*Trace, []SWFSkip, error) {
+	return trace.ReadSWFLenient(r)
+}
 
 // Figure is one reproduced paper figure.
 type Figure = core.Figure
