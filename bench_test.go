@@ -452,10 +452,15 @@ func BenchmarkEngineVsBatch(b *testing.B) {
 // million open-system jobs through a Discard engine. Tiny message
 // quotas keep the bench about event-loop and allocation machinery, not
 // network arithmetic; bytes_per_job and live_heap_mb document the
-// constant-memory claim in BENCH_4.json.
+// constant-memory claim in BENCH_4.json. Since PR 9 the run also
+// reports events_per_sec (engine event-core counter over wall time) and
+// peak_live_heap_mb (HeapAlloc sampled every 50k finishes) — the
+// BENCH_9.json headline numbers guarded by cmd/benchcheck in CI.
 func BenchmarkOpenSystemMillionJobs(b *testing.B) {
 	const jobs = 1_000_000
 	var m0, m1 runtime.MemStats
+	var events int64
+	peakHeap := uint64(0)
 	runtime.GC()
 	runtime.ReadMemStats(&m0)
 	for i := 0; i < b.N; i++ {
@@ -472,7 +477,19 @@ func BenchmarkOpenSystemMillionJobs(b *testing.B) {
 			b.Fatal(err)
 		}
 		count := 0
-		e.Observe(func(sim.JobRecord) { count++ })
+		var ms runtime.MemStats
+		e.Observe(func(sim.JobRecord) {
+			count++
+			// A stop-the-world ReadMemStats every 50k jobs is ~20 samples
+			// across the run: enough to catch live-heap growth, too rare
+			// to perturb the timing measurably.
+			if count%50_000 == 0 {
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peakHeap {
+					peakHeap = ms.HeapAlloc
+				}
+			}
+		})
 		if err := e.RunSource(trace.Limit(trace.NewPoisson(1000, 256, 1), jobs), 0); err != nil {
 			b.Fatal(err)
 		}
@@ -483,12 +500,97 @@ func BenchmarkOpenSystemMillionJobs(b *testing.B) {
 		if res.Jobs != jobs || res.MeanResponse <= 0 {
 			b.Fatalf("degenerate result: %+v", res)
 		}
+		events += e.CoreStats().Events
 	}
 	runtime.GC()
 	runtime.ReadMemStats(&m1)
 	reportMetric(b, "ns_per_job", float64(b.Elapsed().Nanoseconds())/float64(b.N*jobs))
 	reportMetric(b, "bytes_per_job", float64(m1.TotalAlloc-m0.TotalAlloc)/float64(uint64(b.N)*jobs))
 	reportMetric(b, "live_heap_mb", float64(m1.HeapAlloc)/(1<<20))
+	reportMetric(b, "peak_live_heap_mb", float64(peakHeap)/(1<<20))
+	reportMetric(b, "events_per_sec", float64(events)/b.Elapsed().Seconds())
+}
+
+// --- Event-core overhaul benches (see BENCH.md: BENCH_9.json) ---
+
+// BenchmarkEventCore isolates the event-queue choice: the same 100k-job
+// open-system workload through the calendar queue and the retained
+// binary heap, everything else identical (both runs produce bit-equal
+// results; sim's equivalence tests pin that). ns_per_event divides wall
+// time by the engine's own event counter.
+func BenchmarkEventCore(b *testing.B) {
+	const jobs = 100_000
+	for _, equeue := range []string{"calendar", "heap"} {
+		b.Run(equeue, func(b *testing.B) {
+			var events int64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Config{
+					MeshW: 16, MeshH: 16,
+					Alloc: "hilbert/bestfit", Pattern: "nbody",
+					Seed:          1,
+					MsgsPerSecond: 1e-4,
+					EventQueue:    equeue,
+					KeepRecords:   sim.Discard,
+					KeepNodes:     sim.Discard,
+				}
+				e, err := sim.NewEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := e.RunSource(trace.Limit(trace.NewPoisson(1000, 256, 1), jobs), 0); err != nil {
+					b.Fatal(err)
+				}
+				cs := e.CoreStats()
+				if cs.Events == 0 || cs.CalFellBack {
+					b.Fatalf("degenerate run: %+v", cs)
+				}
+				events += cs.Events
+			}
+			reportMetric(b, "ns_per_event", float64(b.Elapsed().Nanoseconds())/float64(events))
+			reportMetric(b, "events_per_sec", float64(events)/b.Elapsed().Seconds())
+		})
+	}
+}
+
+// BenchmarkSchedulerRound isolates the incremental scheduler state: the
+// EASY backfill policy — the one whose shadow-time scan used to copy and
+// sort the running set every round — over a saturated closed workload,
+// with the persistent end-time-ordered index against the retained
+// rebuild-per-round reference. ns_per_round divides wall time by rounds
+// actually run (head-blocked skips are the watermark's job and count for
+// neither side; EASY never skips).
+func BenchmarkSchedulerRound(b *testing.B) {
+	tr := benchTrace(5000, 256)
+	for _, variant := range []string{"incremental", "rebuild"} {
+		b.Run(variant, func(b *testing.B) {
+			var rounds int64
+			for i := 0; i < b.N; i++ {
+				cfg := sim.Config{
+					MeshW: 16, MeshH: 16,
+					Alloc: "hilbert/bestfit", Pattern: "nbody",
+					Load: 0.4, TimeScale: 0.01, Seed: 1,
+					Scheduler:    "easy",
+					RebuildSched: variant == "rebuild",
+					KeepRecords:  sim.Discard,
+					KeepNodes:    sim.Discard,
+				}
+				e, err := sim.NewEngine(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				count := 0
+				e.Observe(func(sim.JobRecord) { count++ })
+				if err := e.RunSource(tr.Source(), 0); err != nil {
+					b.Fatal(err)
+				}
+				if count != len(tr.Jobs) {
+					b.Fatal("short run")
+				}
+				rounds += e.CoreStats().SchedRounds
+			}
+			reportMetric(b, "ns_per_round", float64(b.Elapsed().Nanoseconds())/float64(rounds))
+		})
+	}
 }
 
 // --- Parallel experiment fabric (see BENCH.md: BENCH_5.json) ---

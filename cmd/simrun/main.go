@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -61,6 +63,10 @@ func main() {
 		mtbf      = flag.String("mtbf", "", "per-node mean time between failures: MEANSEC, exp:MEANSEC or weibull:MEANSEC,SHAPE (trace seconds; empty = no failures)")
 		mttr      = flag.String("mttr", "", "per-node mean time to repair, same forms as -mtbf (empty with -mtbf = permanent failures)")
 		retrySpec = flag.String("retry", "", "retry policy for killed jobs: none, immediate[:MAXATTEMPTS] or backoff:BASESEC,CAPSEC[,MAXATTEMPTS] (empty = immediate, unlimited)")
+		equeue    = flag.String("equeue", "", "event queue implementation: calendar or heap (empty = calendar)")
+		rebuild   = flag.Bool("rebuild-sched", false, "rebuild scheduler state from scratch every round (reference path; slower, bit-identical)")
+		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
+		memProf   = flag.String("memprofile", "", "write a pprof allocation profile (after the run) to this file")
 	)
 	flag.Parse()
 
@@ -83,6 +89,11 @@ func main() {
 	if _, err := sched.ByName(*scheduler); err != nil {
 		fatal(fmt.Errorf("%v (valid -sched values: fcfs, easy, sjf)", err))
 	}
+	switch *equeue {
+	case "", "calendar", "heap":
+	default:
+		fatal(fmt.Errorf("unknown -equeue value %q (valid -equeue values: calendar, heap)", *equeue))
+	}
 
 	cfg := sim.Config{
 		Dims:         dims,
@@ -94,6 +105,8 @@ func main() {
 		Seed:         *seed,
 		Scheduler:    *scheduler,
 		AllocWorkers: *allocWk,
+		EventQueue:   *equeue,
+		RebuildSched: *rebuild,
 	}
 	if *issue == "sequential" {
 		cfg.Issue = sim.IssueSequential
@@ -131,12 +144,34 @@ func main() {
 		fatal(fmt.Errorf("-v and -dispersal need retained records; drop -stream/-arrival"))
 	}
 
+	// Profile files are created (and the CPU profile started) before the
+	// workload is built, so an unwritable path dies in milliseconds, not
+	// after the simulation. Trace synthesis is inside the profiled span:
+	// for large open-system runs it is part of the event loop's cost.
+	stopCPU := func() {}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %v", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(fmt.Errorf("-cpuprofile: %v", err))
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatal(fmt.Errorf("-cpuprofile: %v", err))
+			}
+		}
+	}
+
 	var res *sim.Result
+	var eng *sim.Engine
 	if *arrival != "" {
 		if *traceFile != "" {
 			fatal(fmt.Errorf("-arrival generates its own workload; drop -trace"))
 		}
-		res, err = runOpen(cfg, *arrival, size, *seed, *jobs, *duration, *stream)
+		res, eng, err = runOpen(cfg, *arrival, size, *seed, *jobs, *duration, *stream)
 	} else {
 		var tr *trace.Trace
 		if *traceFile != "" {
@@ -164,13 +199,27 @@ func main() {
 		}
 		tr = tr.FilterMaxSize(size)
 		if *stream {
-			res, err = runStreaming(cfg, tr)
+			res, eng, err = runStreaming(cfg, tr)
 		} else {
-			res, err = sim.Run(cfg, tr)
+			res, eng, err = runBatch(cfg, tr)
 		}
 	}
 	if err != nil {
 		fatal(err)
+	}
+	stopCPU()
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fatal(fmt.Errorf("-memprofile: %v", err))
+		}
+		runtime.GC() // report live objects, not dead garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(fmt.Errorf("-memprofile: %v", err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(fmt.Errorf("-memprofile: %v", err))
+		}
 	}
 
 	// With -stream, stdout carries the NDJSON records; the summary
@@ -198,6 +247,18 @@ func main() {
 			res.Killed, res.Retried, res.GivenUp)
 		fmt.Fprintf(sum, "goodput          %13.1f %%   wasted %.2f %%   down %.2f %%\n",
 			res.GoodputPct, res.WastedPct, res.DownPct)
+	}
+
+	// Profiling runs also print the event-core counters: a profile whose
+	// calendar queue silently fell back to the heap is measuring the
+	// wrong code, and the counters make that visible next to the profile.
+	if *cpuProf != "" || *memProf != "" {
+		cs := eng.CoreStats()
+		fmt.Fprintf(os.Stderr, "event core: %d events (%d arrivals, %d steps, %d finishes), %d fault events\n",
+			cs.Events, cs.Arrivals, cs.Steps, cs.Finishes, cs.FaultEvents)
+		fmt.Fprintf(os.Stderr, "scheduler: %d rounds, %d head-blocked skips\n", cs.SchedRounds, cs.SchedSkips)
+		fmt.Fprintf(os.Stderr, "calendar queue: %d resizes, %d direct scans, fell back to heap: %v\n",
+			cs.CalResizes, cs.CalDirectScans, cs.CalFellBack)
 	}
 
 	if *heatmap {
@@ -244,28 +305,28 @@ func main() {
 // emits the same NDJSON schema in open and closed mode. The stream
 // ends at the horizon (trace seconds) or the jobs cap, whichever comes
 // first.
-func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, horizon float64, stream bool) (*sim.Result, error) {
+func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, horizon float64, stream bool) (*sim.Result, *sim.Engine, error) {
 	src, err := parseArrival(spec, maxSize, seed)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.KeepRecords = sim.Discard
 	e, err := sim.NewEngine(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	flush := func() {}
 	if stream {
 		flush = observeNDJSON(e)
 	}
 	if err := e.RunSource(trace.Limit(src, jobs), horizon); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// A horizon stop leaves in-flight jobs pending; let them finish so
 	// the summary covers every admitted job.
 	e.Drain()
 	flush()
-	return e.Result(), nil
+	return e.Result(), e, nil
 }
 
 // runStreaming replays a closed-system trace but streams every record
@@ -273,24 +334,44 @@ func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, hor
 // engine's streaming aggregates. Jobs are submitted up front exactly
 // as sim.Run does, so -stream changes the output format only — even
 // event-time ties resolve in the same order as the batch path.
-func runStreaming(cfg sim.Config, tr *trace.Trace) (*sim.Result, error) {
+func runStreaming(cfg sim.Config, tr *trace.Trace) (*sim.Result, *sim.Engine, error) {
 	cfg.KeepRecords = sim.Discard
 	e, err := sim.NewEngine(cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	flush := observeNDJSON(e)
 	for _, j := range tr.Jobs {
 		if err := e.Submit(j); err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 	}
 	e.Drain()
 	if e.Deadlocked() {
-		return nil, fmt.Errorf("deadlock with %d queued and %d running jobs", e.Pending(), e.RunningJobs())
+		return nil, nil, fmt.Errorf("deadlock with %d queued and %d running jobs", e.Pending(), e.RunningJobs())
 	}
 	flush()
-	return e.Result(), nil
+	return e.Result(), e, nil
+}
+
+// runBatch is sim.Run with the engine handle kept, so the profiling
+// report can read the event-core counters. Submission order, event
+// processing and the deadlock check match sim.Run exactly.
+func runBatch(cfg sim.Config, tr *trace.Trace) (*sim.Result, *sim.Engine, error) {
+	e, err := sim.NewEngine(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, j := range tr.Jobs {
+		if err := e.Submit(j); err != nil {
+			return nil, nil, err
+		}
+	}
+	e.Drain()
+	if e.Deadlocked() {
+		return nil, nil, fmt.Errorf("deadlock with %d queued and %d running jobs", e.Pending(), e.RunningJobs())
+	}
+	return e.Result(), e, nil
 }
 
 // observeNDJSON attaches an observer encoding each record as one JSON

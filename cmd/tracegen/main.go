@@ -20,6 +20,18 @@ func main() {
 	)
 	flag.Parse()
 
+	// Fail fast on nonsense parameters: a -jobs 0 or -maxsize 0 typo in a
+	// sweep script must die with a usage error here, not emit an empty or
+	// degenerate trace that poisons every downstream simrun.
+	if *jobs <= 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: -jobs must be positive (got %d)\n", *jobs)
+		os.Exit(1)
+	}
+	if *maxSize <= 0 {
+		fmt.Fprintf(os.Stderr, "tracegen: -maxsize must be positive (got %d)\n", *maxSize)
+		os.Exit(1)
+	}
+
 	tr := trace.NewSDSC(trace.SDSCConfig{Jobs: *jobs, MaxSize: *maxSize, Seed: *seed})
 
 	w := os.Stdout

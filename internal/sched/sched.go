@@ -33,6 +33,18 @@ type Policy interface {
 	Pick(pending []Pending, now float64, freeProcs int, running []Running) int
 }
 
+// SortedPolicy is implemented by policies that can exploit a running
+// slice the caller already keeps sorted by ascending EstEnd (ties in
+// any fixed deterministic order). PickSorted must return exactly what
+// Pick returns on the same inputs — it just skips the per-call copy and
+// sort. The engine maintains its running set end-time-ordered and calls
+// PickSorted on every scheduling round, so the O(r²) sort in Pick stops
+// being a per-round cost.
+type SortedPolicy interface {
+	Policy
+	PickSorted(pending []Pending, now float64, freeProcs int, runningByEnd []Running) int
+}
+
 // ByName returns the policy registered under name ("fcfs", "easy" or
 // "sjf").
 func ByName(name string) (Policy, error) {
@@ -94,6 +106,29 @@ func (EASY) Pick(pending []Pending, now float64, freeProcs int, running []Runnin
 	return -1
 }
 
+// PickSorted implements SortedPolicy: identical decisions to Pick, with
+// the shadow-time scan running directly over the pre-sorted running
+// slice instead of copying and sorting it.
+func (EASY) PickSorted(pending []Pending, now float64, freeProcs int, runningByEnd []Running) int {
+	if len(pending) == 0 {
+		return -1
+	}
+	if pending[0].Size <= freeProcs {
+		return 0
+	}
+	shadow, extra := shadowTimeSorted(pending[0].Size, freeProcs, runningByEnd)
+	for i := 1; i < len(pending); i++ {
+		j := pending[i]
+		if j.Size > freeProcs {
+			continue
+		}
+		if now+j.EstRuntime <= shadow || j.Size <= extra {
+			return i
+		}
+	}
+	return -1
+}
+
 // SJF starts the shortest (by runtime estimate) fitting job, ignoring
 // arrival order. It minimizes mean wait at the cost of potential
 // starvation; included for scheduler/allocator interaction studies, not
@@ -124,6 +159,12 @@ func shadowTime(headSize, freeProcs int, running []Running) (shadow float64, ext
 	// Scan running jobs in estimated-end order, accumulating releases.
 	ends := append([]Running(nil), running...)
 	sortByEnd(ends)
+	return shadowTimeSorted(headSize, freeProcs, ends)
+}
+
+// shadowTimeSorted is shadowTime over a slice already in ascending
+// EstEnd order: no copy, no sort.
+func shadowTimeSorted(headSize, freeProcs int, ends []Running) (shadow float64, extra int) {
 	free := freeProcs
 	for _, r := range ends {
 		free += r.Size

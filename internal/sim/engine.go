@@ -32,12 +32,15 @@ type Observer func(JobRecord)
 // or mutated past the call.
 type DeltaObserver func(now float64, ids []int, allocated bool)
 
-// event is a heap entry.
+// event is one entry of the event queue. It is deliberately
+// pointer-free: running jobs are referenced by jobStore handle, so the
+// queue — however deep a run makes it — contributes nothing to GC scan
+// work.
 type event struct {
 	t    float64
-	seq  int64 // FIFO tie-break for determinism
-	kind int   // kindArrival, kindStep or kindFinish
-	job  *runningJob
+	seq  int64     // FIFO tie-break for determinism
+	kind int       // kindArrival, kindStep or kindFinish
+	h    int32     // jobStore handle (kindStep/kindFinish)
 	arr  trace.Job // arrival: the (already scaled) job
 }
 
@@ -57,7 +60,10 @@ func sortedCopy(ids []int) []int {
 // seq). container/heap would box every pushed and popped event into an
 // interface — one garbage allocation per simulated event, right on the
 // hottest loop of the simulator — so the sift operations are written out
-// against the concrete slice instead.
+// against the concrete slice instead. The heap is the reference
+// implementation of the eventQueue contract (see equeue.go) and the
+// fallback for timestamp distributions that defeat the calendar queue's
+// bucketing.
 type eventHeap []event
 
 func (h eventHeap) less(i, j int) bool {
@@ -87,7 +93,7 @@ func (h *eventHeap) pop() event {
 	top := s[0]
 	n := len(s) - 1
 	s[0] = s[n]
-	s[n] = event{} // drop the job pointer so the pool can recycle it
+	s[n] = event{}
 	*h = s[:n]
 	s = s[:n]
 	// Sift down.
@@ -108,27 +114,6 @@ func (h *eventHeap) pop() event {
 		i = smallest
 	}
 	return top
-}
-
-type runningJob struct {
-	job      trace.Job
-	nodes    []int
-	gen      comm.Generator
-	quota    int64
-	sent     int64
-	start    float64
-	lastArr  float64 // latest delivery so far
-	hops     int64
-	queued   float64
-	pending  comm.Msg // first message of the next phase (phased mode)
-	havePend bool
-	estEnd   float64 // nominal end for backfilling estimates
-	// dead marks a job killed by a node failure. Its one outstanding
-	// step/finish event still sits in the heap holding this pointer, so
-	// the struct is recycled when that stale event pops, not at kill
-	// time — recycling earlier would hand a pooled struct to a new job
-	// while the heap still references it.
-	dead bool
 }
 
 // Engine is the resumable discrete-event core of the simulator. Where
@@ -157,23 +142,44 @@ type Engine struct {
 	batcher alloc.BatchAllocator
 	pattern comm.Pattern
 	policy  sched.Policy
-	isFCFS  bool
-	net     *netsim.Network
-	rng     *stats.RNG
+	// sorted is non-nil when the policy exploits the end-time-ordered
+	// running index (EASY); used only on the incremental path.
+	sorted sched.SortedPolicy
+	isFCFS bool
+	isSJF  bool
+	net    *netsim.Network
+	rng    *stats.RNG
 
-	events eventHeap
+	events eventQueue
 	seq    int64
 	now    float64
 	queue  []trace.Job // FCFS arrival order, already scaled
-	runSet map[*runningJob]bool
-	rjPool []*runningJob // recycled runningJob structs
+	store  jobStore    // in-flight job state, SoA, handle-indexed
 
-	// pendBuf and runBuf are persistent scratch for the non-FCFS policy
-	// path, refilled per trySchedule round; reqBuf is the batch-dispatch
-	// request scratch.
-	pendBuf []sched.Pending
-	runBuf  []sched.Running
-	reqBuf  []alloc.Request
+	// Scheduler-round state. On the incremental path (RebuildSched
+	// false), pendBuf mirrors queue entry for entry (trackPend) and
+	// runOrd/runOrdH hold the running set ordered by (EstEnd, handle)
+	// (trackRun), both maintained at the events that change them instead
+	// of rebuilt every round; runBuf only serves the rebuild reference
+	// path. blocked is the head-blocked watermark: set when an FCFS/SJF
+	// round ends without a dispatch, letting the next round short-
+	// circuit in O(1), and invalidated only on release and fault
+	// transitions (plus arrivals that can change the decision: any
+	// arrival under SJF, an arrival into an empty queue under FCFS).
+	// EASY never blocks — its backfill decisions depend on the clock.
+	pendBuf   []sched.Pending
+	runBuf    []sched.Running
+	reqBuf    []alloc.Request
+	runOrd    []sched.Running
+	runOrdH   []int32
+	trackPend bool
+	trackRun  bool
+	canBlock  bool
+	blocked   bool
+
+	// setScratch backs the counted per-finish dispersal metrics.
+	setScratch topo.SetScratch
+	core       stats.EventCoreStats
 
 	observers []Observer
 	deltaObs  []DeltaObserver
@@ -207,14 +213,14 @@ type Engine struct {
 	nextFault  fault.Event // pending head of the stream, time already scaled
 	hasFault   bool
 	faultable  alloc.FaultAware
-	down       []bool        // hard-failed nodes
-	drained    []bool        // administratively drained nodes
-	masked     []bool        // nodes currently marked down in the allocator
-	owner      []*runningJob // occupying job per node, for O(1) kill lookup
-	flagged    int           // count of down-or-drained nodes
-	maskedN    int           // count of masked nodes
-	killCount  map[int]int   // kills per job ID, for retry bookkeeping
-	maskBuf    [1]int        // single-node delta scratch for observers
+	down       []bool      // hard-failed nodes
+	drained    []bool      // administratively drained nodes
+	masked     []bool      // nodes currently marked down in the allocator
+	owner      []int32     // occupying job handle per node (-1 free), for O(1) kill lookup
+	flagged    int         // count of down-or-drained nodes
+	maskedN    int         // count of masked nodes
+	killCount  map[int]int // kills per job ID, for retry bookkeeping
+	maskBuf    [1]int      // single-node delta scratch for observers
 	killed     int
 	retried    int
 	givenUp    int
@@ -261,6 +267,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	_, isFCFS := policy.(sched.FCFS)
+	_, isSJF := policy.(sched.SJF)
 	batcher, _ := allocator.(alloc.BatchAllocator)
 	e := &Engine{
 		cfg:        cfg,
@@ -270,10 +277,24 @@ func NewEngine(cfg Config) (*Engine, error) {
 		pattern:    pattern,
 		policy:     policy,
 		isFCFS:     isFCFS,
+		isSJF:      isSJF,
 		net:        netsim.New(m, cfg.Net),
 		rng:        stats.NewRNG(cfg.Seed),
-		runSet:     map[*runningJob]bool{},
 		respMedian: stats.NewP2Quantile(0.5),
+	}
+	switch cfg.EventQueue {
+	case "calendar":
+		e.events = newCalQueue()
+	case "heap":
+		e.events = &eventHeap{}
+	default:
+		return nil, fmt.Errorf("sim: unknown event queue %q (valid: calendar, heap)", cfg.EventQueue)
+	}
+	if !cfg.RebuildSched {
+		e.trackPend = !isFCFS
+		e.trackRun = !isFCFS
+		e.canBlock = isFCFS || isSJF
+		e.sorted, _ = policy.(sched.SortedPolicy)
 	}
 	if cfg.Faults.Enabled() {
 		if err := e.initFaults(); err != nil {
@@ -309,7 +330,10 @@ func (e *Engine) initFaults() error {
 	e.down = make([]bool, n)
 	e.drained = make([]bool, n)
 	e.masked = make([]bool, n)
-	e.owner = make([]*runningJob, n)
+	e.owner = make([]int32, n)
+	for i := range e.owner {
+		e.owner[i] = -1
+	}
 	e.killCount = map[int]int{}
 	e.advanceFault()
 	return nil
@@ -354,10 +378,21 @@ func (e *Engine) Now() float64 { return e.now }
 func (e *Engine) Pending() int { return len(e.queue) }
 
 // RunningJobs returns the number of jobs currently holding processors.
-func (e *Engine) RunningJobs() int { return len(e.runSet) }
+func (e *Engine) RunningJobs() int { return e.store.live }
 
 // Finished returns the number of jobs that have completed.
 func (e *Engine) Finished() int { return e.finished }
+
+// CoreStats snapshots the event-core counters: events processed by
+// kind, scheduler rounds run versus skipped by the head-blocked
+// watermark, and the calendar queue's adaptation history.
+func (e *Engine) CoreStats() stats.EventCoreStats {
+	cs := e.core
+	if cq, ok := e.events.(*calQueue); ok {
+		cs.CalResizes, cs.CalDirectScans, cs.CalFellBack = cq.queueStats()
+	}
+	return cs
+}
 
 // ErrOversize is the sentinel matched by errors.Is for jobs rejected
 // because they can never (or, under strict capacity, currently cannot)
@@ -420,6 +455,50 @@ func (e *Engine) Submit(j trace.Job) error {
 	return nil
 }
 
+// enqueue appends an arrived job to the pending queue, keeping the
+// incremental policy snapshot in lockstep.
+func (e *Engine) enqueue(j trace.Job) {
+	e.queue = append(e.queue, j)
+	if e.trackPend {
+		e.pendBuf = append(e.pendBuf, sched.Pending{Size: j.Size, EstRuntime: j.Runtime})
+	}
+}
+
+// dequeueAt removes the queue entry a non-FCFS policy picked, keeping
+// the incremental snapshot in lockstep.
+func (e *Engine) dequeueAt(i int) {
+	e.queue = append(e.queue[:i], e.queue[i+1:]...)
+	if e.trackPend {
+		e.pendBuf = append(e.pendBuf[:i], e.pendBuf[i+1:]...)
+	}
+}
+
+// runInsert places handle h in the end-time-ordered running index at
+// its (EstEnd, handle) position.
+func (e *Engine) runInsert(h int32, end float64, size int) {
+	i := len(e.runOrd)
+	for i > 0 && (e.runOrd[i-1].EstEnd > end || (e.runOrd[i-1].EstEnd == end && e.runOrdH[i-1] > h)) {
+		i--
+	}
+	e.runOrd = append(e.runOrd, sched.Running{})
+	e.runOrdH = append(e.runOrdH, 0)
+	copy(e.runOrd[i+1:], e.runOrd[i:])
+	copy(e.runOrdH[i+1:], e.runOrdH[i:])
+	e.runOrd[i] = sched.Running{Size: size, EstEnd: end}
+	e.runOrdH[i] = h
+}
+
+// runRemove drops handle h from the end-time-ordered running index.
+func (e *Engine) runRemove(h int32) {
+	for i, hh := range e.runOrdH {
+		if hh == h {
+			e.runOrd = append(e.runOrd[:i], e.runOrd[i+1:]...)
+			e.runOrdH = append(e.runOrdH[:i], e.runOrdH[i+1:]...)
+			return
+		}
+	}
+}
+
 // Step processes the single earliest event and returns true, or returns
 // false when no events remain. Fault events interleave by time with job
 // events; on an exact tie the fault applies first, so a job finishing
@@ -427,7 +506,8 @@ func (e *Engine) Submit(j trace.Job) error {
 // conservative reading, and the ordering contract DESIGN.md documents.
 func (e *Engine) Step() bool {
 	if e.hasFault {
-		if len(e.events) == 0 {
+		ht, _, ok := e.events.head()
+		if !ok {
 			// No job events left. Keep the machine evolving only while
 			// queued work could still be unblocked by a repair;
 			// otherwise the run is over and the infinite failure
@@ -438,24 +518,27 @@ func (e *Engine) Step() bool {
 			e.processFault()
 			return true
 		}
-		if e.nextFault.T <= e.events[0].t {
+		if e.nextFault.T <= ht {
 			e.processFault()
 			return true
 		}
 	}
-	if len(e.events) == 0 {
+	if e.events.len() == 0 {
 		return false
 	}
 	ev := e.events.pop()
+	e.core.Events++
 	e.account(ev.t)
 	if ev.t > e.now {
 		e.now = ev.t
 	}
 	switch ev.kind {
 	case kindArrival:
-		e.queue = append(e.queue, ev.arr)
+		e.core.Arrivals++
+		wasEmpty := len(e.queue) == 0
+		e.enqueue(ev.arr)
 		if e.isFCFS {
-			// Drain every same-timestamp arrival at the top of the heap
+			// Drain every same-timestamp arrival at the head of the queue
 			// before scheduling once, so simultaneous arrivals dispatch
 			// as one batch. Under FCFS this is bit-identical to
 			// scheduling after each arrival: the drain stops at any
@@ -464,33 +547,42 @@ func (e *Engine) Step() bool {
 			// starts the same jobs in the same order consuming the RNG
 			// identically. Policies that inspect the whole queue (SJF)
 			// keep per-arrival scheduling.
-			for len(e.events) > 0 && e.events[0].t == ev.t && e.events[0].kind == kindArrival {
+			for {
+				ht, hk, ok := e.events.head()
+				if !ok || ht != ev.t || hk != kindArrival {
+					break
+				}
 				next := e.events.pop()
-				e.queue = append(e.queue, next.arr)
+				e.core.Events++
+				e.core.Arrivals++
+				e.enqueue(next.arr)
 			}
+		}
+		// A new arrival re-arms a blocked FCFS round only when it
+		// becomes the head (empty queue); under SJF any arrival can
+		// change the pick.
+		if wasEmpty || e.isSJF {
+			e.blocked = false
 		}
 		e.trySchedule(ev.t)
 	case kindStep:
-		if ev.job.dead {
-			e.recycle(ev.job)
+		e.core.Steps++
+		if e.store.dead[ev.h] {
+			// Stale event of a killed job: the pop was its last
+			// reference, so the handle recycles here.
+			e.store.release(ev.h)
 			break
 		}
-		e.step(ev.job, ev.t)
+		e.step(ev.h, ev.t)
 	case kindFinish:
-		if ev.job.dead {
-			e.recycle(ev.job)
+		e.core.Finishes++
+		if e.store.dead[ev.h] {
+			e.store.release(ev.h)
 			break
 		}
-		e.finish(ev.job, ev.t)
+		e.finish(ev.h, ev.t)
 	}
 	return true
-}
-
-// recycle returns a killed job's struct to the pool once its stale
-// heap event — the last live reference — has popped.
-func (e *Engine) recycle(rj *runningJob) {
-	*rj = runningJob{}
-	e.rjPool = append(e.rjPool, rj)
 }
 
 // RunUntil processes every event with time <= t (scaled simulation
@@ -500,12 +592,12 @@ func (e *Engine) recycle(rj *runningJob) {
 // current at t for the next submission.
 func (e *Engine) RunUntil(t float64) {
 	for {
-		if e.hasFault && e.nextFault.T <= t &&
-			(len(e.events) == 0 || e.nextFault.T <= e.events[0].t) {
+		ht, _, ok := e.events.head()
+		if e.hasFault && e.nextFault.T <= t && (!ok || e.nextFault.T <= ht) {
 			e.processFault()
 			continue
 		}
-		if len(e.events) > 0 && e.events[0].t <= t {
+		if ok && ht <= t {
 			e.Step()
 			continue
 		}
@@ -529,11 +621,11 @@ func (e *Engine) Drain() {
 // fault events count as events: a queued job stuck behind failed nodes
 // is only deadlocked once the repair stream has nothing more to offer.
 func (e *Engine) Deadlocked() bool {
-	return len(e.events) == 0 && !e.hasFault && (len(e.queue) > 0 || len(e.runSet) > 0)
+	return e.events.len() == 0 && !e.hasFault && (len(e.queue) > 0 || e.store.live > 0)
 }
 
 // RunSource pumps src into the engine lazily: each job is submitted
-// only when the clock reaches its arrival, so the event heap stays
+// only when the clock reaches its arrival, so the event queue stays
 // bounded by the in-flight work rather than the stream length. With
 // horizon 0 the stream runs until the source is exhausted and the
 // remaining events drain. horizon > 0 stops at the first job arriving
@@ -570,7 +662,7 @@ func (e *Engine) RunSource(src trace.Source, horizon float64) error {
 	e.Drain()
 	if e.Deadlocked() {
 		return fmt.Errorf("sim: deadlock with %d queued and %d running jobs",
-			len(e.queue), len(e.runSet))
+			len(e.queue), e.store.live)
 	}
 	return nil
 }
@@ -640,6 +732,7 @@ func (e *Engine) account(now float64) {
 func (e *Engine) processFault() {
 	ev := e.nextFault
 	e.advanceFault()
+	e.core.FaultEvents++
 	e.account(ev.T)
 	if ev.T > e.now {
 		e.now = ev.T
@@ -651,8 +744,8 @@ func (e *Engine) processFault() {
 			break
 		}
 		e.setFlag(n, true, true)
-		if rj := e.owner[n]; rj != nil {
-			e.killJob(rj, e.now)
+		if h := e.owner[n]; h >= 0 {
+			e.killJob(h, e.now)
 		} else if !e.masked[n] {
 			e.mask(n)
 		}
@@ -670,7 +763,7 @@ func (e *Engine) processFault() {
 			break
 		}
 		e.setFlag(n, false, true)
-		if e.owner[n] == nil && !e.masked[n] {
+		if e.owner[n] < 0 && !e.masked[n] {
 			e.mask(n)
 		}
 	case fault.NodeUndrain:
@@ -706,11 +799,15 @@ func (e *Engine) setFlag(n int, isDown, v bool) {
 // mask marks a free node busy in the allocator — occupancy indexes,
 // word scans and free counts all see it as taken — and notifies delta
 // observers so external free-map mirrors track fault masking exactly
-// like allocations.
+// like allocations. Any fault transition invalidates the head-blocked
+// watermark: with SJF a shrunken free set can change which job is
+// picked, and clearing on every transition is cheap because fault
+// events are rare.
 func (e *Engine) mask(n int) {
 	e.faultable.MarkDown(n)
 	e.masked[n] = true
 	e.maskedN++
+	e.blocked = false
 	e.maskBuf[0] = n
 	for _, fn := range e.deltaObs {
 		fn(e.now, e.maskBuf[:], true)
@@ -722,6 +819,7 @@ func (e *Engine) unmask(n int) {
 	e.faultable.MarkUp(n)
 	e.masked[n] = false
 	e.maskedN--
+	e.blocked = false
 	e.maskBuf[0] = n
 	for _, fn := range e.deltaObs {
 		fn(e.now, e.maskBuf[:], false)
@@ -733,27 +831,32 @@ func (e *Engine) unmask(n int) {
 // the work lost, and requeue or abandon the job per the retry policy.
 // The release may free survivors that admit queued jobs, so the
 // scheduler runs before returning.
-func (e *Engine) killJob(rj *runningJob, now float64) {
-	delete(e.runSet, rj)
-	e.allocator.Release(rj.nodes)
-	e.busyProcs -= rj.job.Size
+func (e *Engine) killJob(h int32, now float64) {
+	s := &e.store
+	nodes := s.nodes[h]
+	job := s.job[h]
+	e.allocator.Release(nodes)
+	e.blocked = false
+	e.busyProcs -= job.Size
 	for _, fn := range e.deltaObs {
-		fn(now, rj.nodes, false)
+		fn(now, nodes, false)
 	}
-	e.wastedArea += float64(rj.job.Size) * (now - rj.start)
-	for _, id := range rj.nodes {
-		e.owner[id] = nil
+	e.wastedArea += float64(job.Size) * (now - s.start[h])
+	for _, id := range nodes {
+		e.owner[id] = -1
 		if (e.down[id] || e.drained[id]) && !e.masked[id] {
 			e.mask(id)
 		}
 	}
-	job := rj.job
 	e.killed++
 	e.killCount[job.ID]++
 	kills := e.killCount[job.ID]
+	if e.trackRun {
+		e.runRemove(h)
+	}
 	// The job's one outstanding step/finish event still references the
-	// struct; recycling happens when that stale event pops.
-	*rj = runningJob{dead: true}
+	// handle; it recycles when that stale event pops.
+	s.markDead(h)
 	if e.cfg.Retry.Allow(kills) {
 		e.retried++
 		delay := e.cfg.Retry.Delay(kills) * e.cfg.TimeScale
@@ -779,32 +882,65 @@ func (e *Engine) quotaOf(j trace.Job) int64 {
 	return q
 }
 
+// block arms the head-blocked watermark after a dispatch-free FCFS/SJF
+// round: until a release, fault transition or decision-changing arrival,
+// re-running the round is provably a no-op (a refused Allocate consumes
+// no RNG and refusals are monotone under an unchanged or shrinking free
+// set), so trySchedule short-circuits in O(1).
+func (e *Engine) block() {
+	if e.canBlock {
+		e.blocked = true
+	}
+}
+
 // trySchedule starts every job the policy allows at time now.
 func (e *Engine) trySchedule(now float64) {
+	if e.blocked {
+		e.core.SchedSkips++
+		return
+	}
+	e.core.SchedRounds++
 	if e.isFCFS && e.batcher != nil {
 		e.scheduleFCFSBatch(now)
 		return
 	}
 	for {
 		var pick int
-		if e.isFCFS {
+		switch {
+		case e.isFCFS:
 			// Fast path: strict FCFS only ever inspects the head.
 			pick = -1
 			if len(e.queue) > 0 && e.queue[0].Size <= e.allocator.NumFree() {
 				pick = 0
 			}
-		} else {
+		case e.cfg.RebuildSched:
+			// Reference path: rebuild the policy's snapshots from
+			// scratch every round, iterating live handles in ascending
+			// order so equal-EstEnd running entries land in the same
+			// relative order the incremental index keeps.
 			e.pendBuf = e.pendBuf[:0]
 			for _, j := range e.queue {
 				e.pendBuf = append(e.pendBuf, sched.Pending{Size: j.Size, EstRuntime: j.Runtime})
 			}
 			e.runBuf = e.runBuf[:0]
-			for rj := range e.runSet {
-				e.runBuf = append(e.runBuf, sched.Running{Size: rj.job.Size, EstEnd: rj.estEnd})
+			for h := 0; h < len(e.store.job); h++ {
+				if e.store.inUse[h] && !e.store.dead[h] {
+					e.runBuf = append(e.runBuf, sched.Running{Size: e.store.job[h].Size, EstEnd: e.store.estEnd[h]})
+				}
 			}
 			pick = e.policy.Pick(e.pendBuf, now, e.allocator.NumFree(), e.runBuf)
+		default:
+			// Incremental path: pendBuf mirrors the queue and runOrd is
+			// already (EstEnd, handle)-sorted, so the round costs one
+			// policy scan and nothing else.
+			if e.sorted != nil {
+				pick = e.sorted.PickSorted(e.pendBuf, now, e.allocator.NumFree(), e.runOrd)
+			} else {
+				pick = e.policy.Pick(e.pendBuf, now, e.allocator.NumFree(), e.runOrd)
+			}
 		}
 		if pick < 0 {
+			e.block()
 			return
 		}
 		job := e.queue[pick]
@@ -813,6 +949,7 @@ func (e *Engine) trySchedule(now float64) {
 			// Contiguous allocators (submesh, buddy) can refuse on
 			// external fragmentation even when enough processors
 			// are free; the job stays queued until a release.
+			e.block()
 			return
 		}
 		if err != nil {
@@ -820,7 +957,7 @@ func (e *Engine) trySchedule(now float64) {
 			panic(fmt.Sprintf("sim: allocator %s refused %d procs with %d free: %v",
 				e.allocator.Name(), job.Size, e.allocator.NumFree(), err))
 		}
-		e.queue = append(e.queue[:pick], e.queue[pick+1:]...)
+		e.dequeueAt(pick)
 		e.startJob(job, nodes, now)
 	}
 }
@@ -842,6 +979,7 @@ func (e *Engine) scheduleFCFSBatch(now float64) {
 		n++
 	}
 	if n == 0 {
+		e.block()
 		return
 	}
 	if n == 1 {
@@ -855,6 +993,7 @@ func (e *Engine) scheduleFCFSBatch(now float64) {
 		}
 		e.queue = e.queue[:copy(e.queue, e.queue[1:])]
 		e.startJob(job, nodes, now)
+		e.block()
 		return
 	}
 	e.reqBuf = e.reqBuf[:0]
@@ -870,87 +1009,109 @@ func (e *Engine) scheduleFCFSBatch(now float64) {
 		e.startJob(e.queue[i], batch[i], now)
 	}
 	e.queue = e.queue[:copy(e.queue, e.queue[n:])]
+	// n was the maximal runnable prefix, so the remaining head (if any)
+	// exceeds the remaining free count: the round ends blocked.
+	e.block()
 }
 
-// startJob registers an allocated job: pool a runningJob, draw its
+// startJob registers an allocated job: claim a store handle, draw its
 // communication generator (the single RNG consumer, so call order fixes
 // determinism), account occupancy, notify delta observers, and schedule
 // its first step.
 func (e *Engine) startJob(job trace.Job, nodes []int, now float64) {
-	var rj *runningJob
-	if n := len(e.rjPool); n > 0 {
-		rj, e.rjPool = e.rjPool[n-1], e.rjPool[:n-1]
-	} else {
-		rj = new(runningJob)
-	}
-	*rj = runningJob{
-		job:     job,
-		nodes:   nodes,
-		gen:     e.pattern.Generator(job.Size, e.rng),
-		quota:   e.quotaOf(job),
-		start:   now,
-		lastArr: now,
-		estEnd:  now + job.Runtime,
-	}
-	e.runSet[rj] = true
+	h := e.store.alloc()
+	s := &e.store
+	s.job[h] = job
+	s.nodes[h] = nodes
+	s.gen[h] = e.pattern.Generator(job.Size, e.rng)
+	s.quota[h] = e.quotaOf(job)
+	s.sent[h] = 0
+	s.hops[h] = 0
+	s.start[h] = now
+	s.lastArr[h] = now
+	s.queued[h] = 0
+	s.estEnd[h] = now + job.Runtime
+	s.havePend[h] = false
 	e.busyProcs += job.Size
 	if e.owner != nil {
 		for _, id := range nodes {
-			e.owner[id] = rj
+			e.owner[id] = h
 		}
+	}
+	if e.trackRun {
+		e.runInsert(h, s.estEnd[h], job.Size)
 	}
 	for _, fn := range e.deltaObs {
 		fn(now, nodes, true)
 	}
-	e.push(event{t: now, kind: kindStep, job: rj})
+	e.push(event{t: now, kind: kindStep, h: h})
 }
 
 // finish runs as its own event at the time the job's last message
 // arrived, so processors are not released before that moment.
-func (e *Engine) finish(rj *runningJob, now float64) {
-	delete(e.runSet, rj)
-	e.allocator.Release(rj.nodes)
-	e.busyProcs -= rj.job.Size
+func (e *Engine) finish(h int32, now float64) {
+	s := &e.store
+	nodes := s.nodes[h]
+	job := s.job[h]
+	e.allocator.Release(nodes)
+	e.blocked = false
+	e.busyProcs -= job.Size
 	for _, fn := range e.deltaObs {
-		fn(now, rj.nodes, false)
+		fn(now, nodes, false)
 	}
 	if e.owner != nil {
 		// A drained node lets its occupying job finish; the mask lands
 		// here, the moment the release frees it.
-		for _, id := range rj.nodes {
-			e.owner[id] = nil
+		for _, id := range nodes {
+			e.owner[id] = -1
 			if (e.down[id] || e.drained[id]) && !e.masked[id] {
 				e.mask(id)
 			}
 		}
-		delete(e.killCount, rj.job.ID)
+		delete(e.killCount, job.ID)
 	}
-	end := rj.lastArr
+	if e.trackRun {
+		e.runRemove(h)
+	}
+	end := s.lastArr[h]
 	if end < now {
 		end = now
 	}
 	inv := 1 / e.cfg.TimeScale
-	comps := e.grid.Components(rj.nodes)
+	var nComps int
+	var avgPair float64
+	if e.cfg.NaiveMetrics {
+		// Reference walks: materialize the components, decode a
+		// coordinate pair per distance.
+		nComps = len(e.grid.Components(nodes))
+		avgPair = e.grid.AvgPairwiseDist(nodes)
+	} else {
+		// Counted forms: integer-exact per-axis histograms and an
+		// epoch-stamped flood fill — bit-identical results at a
+		// fraction of the cost (see topo/setmetrics.go).
+		nComps = e.grid.CountComponents(nodes, &e.setScratch)
+		avgPair = e.grid.AvgPairwiseDistCounted(nodes, &e.setScratch)
+	}
 	rec := JobRecord{
-		ID:          rj.job.ID,
-		Size:        rj.job.Size,
-		Quota:       rj.quota,
-		Arrival:     rj.job.Arrival * inv,
-		Start:       rj.start * inv,
+		ID:          job.ID,
+		Size:        job.Size,
+		Quota:       s.quota[h],
+		Arrival:     job.Arrival * inv,
+		Start:       s.start[h] * inv,
 		Finish:      end * inv,
-		Response:    (end - rj.job.Arrival) * inv,
-		RunTime:     (end - rj.start) * inv,
-		Wait:        (rj.start - rj.job.Arrival) * inv,
-		AvgPairwise: e.grid.AvgPairwiseDist(rj.nodes),
-		QueuedSec:   rj.queued * inv,
-		Components:  len(comps),
-		Contiguous:  len(comps) == 1,
+		Response:    (end - job.Arrival) * inv,
+		RunTime:     (end - s.start[h]) * inv,
+		Wait:        (s.start[h] - job.Arrival) * inv,
+		AvgPairwise: avgPair,
+		QueuedSec:   s.queued[h] * inv,
+		Components:  nComps,
+		Contiguous:  nComps == 1,
 	}
 	if e.cfg.KeepNodes == Keep {
-		rec.Nodes = sortedCopy(rj.nodes)
+		rec.Nodes = sortedCopy(nodes)
 	}
-	if rj.sent > 0 {
-		rec.AvgMsgDist = float64(rj.hops) / float64(rj.sent)
+	if s.sent[h] > 0 {
+		rec.AvgMsgDist = float64(s.hops[h]) / float64(s.sent[h])
 	}
 
 	// Streaming aggregates and observers see every record; the records
@@ -973,15 +1134,15 @@ func (e *Engine) finish(rj *runningJob, now float64) {
 	}
 
 	// The finish event was the job's last reference; recycle the
-	// struct for a later arrival.
-	*rj = runningJob{}
-	e.rjPool = append(e.rjPool, rj)
+	// handle for a later arrival.
+	s.release(h)
 	e.trySchedule(end)
 }
 
-// step issues the next burst of messages for rj at time now and
-// schedules the follow-up event.
-func (e *Engine) step(rj *runningJob, now float64) {
+// step issues the next burst of messages for the job at handle h at
+// time now and schedules the follow-up event.
+func (e *Engine) step(h int32, now float64) {
+	s := &e.store
 	burst := int64(1)
 	if e.cfg.Issue == IssuePhased {
 		burst = math.MaxInt64 // until phase boundary
@@ -991,35 +1152,40 @@ func (e *Engine) step(rj *runningJob, now float64) {
 	}
 	maxArr := now
 	var issued int64
-	for issued < burst && rj.sent < rj.quota {
+	nodes := s.nodes[h]
+	gen := s.gen[h]
+	sent, quota := s.sent[h], s.quota[h]
+	hops, queued := s.hops[h], s.queued[h]
+	for issued < burst && sent < quota {
 		var msg comm.Msg
-		if rj.havePend {
-			msg, rj.havePend = rj.pending, false
+		if s.havePend[h] {
+			msg, s.havePend[h] = s.pending[h], false
 		} else {
 			var newPhase bool
-			msg, newPhase = rj.gen.Next()
+			msg, newPhase = gen.Next()
 			if newPhase && issued > 0 {
 				// The phase ended; save the message for the next burst.
-				rj.pending, rj.havePend = msg, true
+				s.pending[h], s.havePend[h] = msg, true
 				break
 			}
 		}
-		r := e.net.Send(rj.nodes[msg.Src], rj.nodes[msg.Dst], now)
-		rj.sent++
-		rj.hops += int64(r.Hops)
-		rj.queued += r.Queued
+		r := e.net.Send(nodes[msg.Src], nodes[msg.Dst], now)
+		sent++
+		hops += int64(r.Hops)
+		queued += r.Queued
 		if r.Arrival > maxArr {
 			maxArr = r.Arrival
 		}
 		issued++
 	}
-	if maxArr > rj.lastArr {
-		rj.lastArr = maxArr
+	s.sent[h], s.hops[h], s.queued[h] = sent, hops, queued
+	if maxArr > s.lastArr[h] {
+		s.lastArr[h] = maxArr
 	}
-	if rj.sent >= rj.quota {
-		e.push(event{t: maxArr, kind: kindFinish, job: rj})
+	if sent >= quota {
+		e.push(event{t: maxArr, kind: kindFinish, h: h})
 		return
 	}
 	// Barrier: the next subphase starts when this burst has arrived.
-	e.push(event{t: maxArr, kind: kindStep, job: rj})
+	e.push(event{t: maxArr, kind: kindStep, h: h})
 }

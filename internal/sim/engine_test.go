@@ -287,8 +287,8 @@ func TestEngineRunSourceBoundedHeap(t *testing.T) {
 		if err := e.Submit(j); err != nil {
 			t.Fatal(err)
 		}
-		if len(e.events) > maxHeap {
-			maxHeap = len(e.events)
+		if e.events.len() > maxHeap {
+			maxHeap = e.events.len()
 		}
 	}
 	e.Drain()

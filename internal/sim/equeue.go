@@ -1,0 +1,313 @@
+package sim
+
+import "math"
+
+// eventQueue is the engine's event-core priority queue contract: events
+// pop in strictly ascending (t, seq) order — the FIFO tie rule every
+// golden digest depends on. Two implementations are kept: the binary
+// eventHeap (the reference, O(log n) per op) and the adaptive calendar
+// queue below (O(1) amortized on the clock-like timestamp streams a
+// discrete-event simulation produces). Config.EventQueue selects one;
+// both are equivalence- and fuzz-tested to pop identical orders.
+type eventQueue interface {
+	push(event)
+	pop() event
+	len() int
+	// head returns the earliest event's time and kind without removing
+	// it; ok is false on an empty queue.
+	head() (t float64, kind int, ok bool)
+}
+
+func (h *eventHeap) len() int { return len(*h) }
+
+func (h *eventHeap) head() (float64, int, bool) {
+	if len(*h) == 0 {
+		return 0, 0, false
+	}
+	return (*h)[0].t, (*h)[0].kind, true
+}
+
+const (
+	calMinBuckets = 8
+	// calFallbackWindow operations are costed together; if they average
+	// more than calFallbackCost scan steps each, the timestamp
+	// distribution has defeated the bucketing (everything clustered in a
+	// few buckets, or pops forever walking empty years) and the queue
+	// falls back to the binary heap for the rest of the run. The switch
+	// cannot change outputs: both structures pop the same (t, seq)
+	// order.
+	calFallbackWindow = 2048
+	calFallbackCost   = 48
+)
+
+// calQueue is an adaptive calendar queue (Brown 1988): a circular array
+// of time buckets of width `width`, each holding its events sorted by
+// (t, seq). An event at time t lands in absolute bucket floor(t/width),
+// stored at that number modulo the bucket count; the dequeue cursor
+// walks absolute bucket numbers, so with the width matched to the event
+// density both ends cost O(1) amortized. Identical timestamps always
+// share a bucket, so the (t, seq) tie contract is enforced by the
+// in-bucket sort alone. Bucket membership is always decided by the one
+// expression floor(t*inv) — never by incrementally accumulated bounds —
+// so cursor scans cannot disagree with insertion about which year an
+// event belongs to. The width and bucket count re-adapt on occupancy
+// doublings/halvings, and a cost monitor (see calFallback*) demotes the
+// whole queue to the retained binary heap on pathological
+// distributions.
+type calQueue struct {
+	buckets [][]event
+	mask    int64 // len(buckets)-1; bucket count is a power of two
+	width   float64
+	inv     float64 // 1/width
+	count   int
+	curA    int64 // cursor: absolute bucket number of the earliest event
+	grow    int   // resize up when count exceeds this
+	shrink  int   // resize down when count drops below this
+
+	// Cost accounting for adaptation stats and the heap fallback.
+	resizes     int64
+	directScans int64
+	opCost      int64
+	ops         int64
+	fellBack    bool
+	hp          eventHeap
+}
+
+func newCalQueue() *calQueue {
+	q := &calQueue{}
+	q.reshape(calMinBuckets, 1)
+	return q
+}
+
+// calMaxBucket clamps absolute bucket numbers so t/width cannot
+// overflow the int64 conversion. Every clamped time shares one (sorted)
+// bucket — still correct, just costly, and the cost monitor demotes
+// such distributions to the heap.
+const calMaxBucket = int64(1) << 53
+
+// bucketOf returns the absolute bucket number of time t.
+func (q *calQueue) bucketOf(t float64) int64 {
+	y := math.Floor(t * q.inv)
+	if y >= float64(calMaxBucket) {
+		return calMaxBucket
+	}
+	if y <= -float64(calMaxBucket) {
+		return -calMaxBucket
+	}
+	return int64(y)
+}
+
+// reshape installs a fresh bucket array and width and re-inserts any
+// existing events, leaving the cursor on the earliest one.
+func (q *calQueue) reshape(nb int, width float64) {
+	old := q.buckets
+	q.buckets = make([][]event, nb)
+	q.mask = int64(nb - 1)
+	q.width = width
+	q.inv = 1 / width
+	q.grow = 2 * nb
+	q.shrink = nb / 2
+	if nb == calMinBuckets {
+		q.shrink = 0
+	}
+	q.count = 0
+	q.curA = 0
+	first := true
+	for _, b := range old {
+		for _, ev := range b {
+			q.insert(ev)
+			if a := q.bucketOf(ev.t); first || a < q.curA {
+				q.curA = a
+				first = false
+			}
+		}
+	}
+}
+
+// insert places ev in its bucket, keeping the bucket (t, seq)-sorted.
+// Returns the number of displaced entries (the insertion scan cost).
+func (q *calQueue) insert(ev event) int {
+	b := q.bucketOf(ev.t) & q.mask
+	s := q.buckets[b]
+	i := len(s)
+	for i > 0 && (s[i-1].t > ev.t || (s[i-1].t == ev.t && s[i-1].seq > ev.seq)) {
+		i--
+	}
+	s = append(s, event{})
+	copy(s[i+1:], s[i:])
+	s[i] = ev
+	q.buckets[b] = s
+	q.count++
+	return len(s) - 1 - i
+}
+
+func (q *calQueue) push(ev event) {
+	if q.fellBack {
+		q.hp.push(ev)
+		return
+	}
+	cost := q.insert(ev)
+	// An event landing before the cursor's bucket must pull the cursor
+	// back or it would be skipped. (The engine only pushes at or after
+	// the last popped time, but the queue stays general — the fuzz
+	// harness pushes arbitrarily.)
+	if a := q.bucketOf(ev.t); a < q.curA {
+		q.curA = a
+	}
+	q.noteCost(cost)
+	if q.count > q.grow {
+		q.adapt(2 * (int(q.mask) + 1))
+	}
+	q.checkFallback()
+}
+
+func (q *calQueue) len() int {
+	if q.fellBack {
+		return len(q.hp)
+	}
+	return q.count
+}
+
+// findHead locates the earliest event, advancing the cursor across
+// empty or future-year buckets, and returns its bucket's storage index.
+// Must only be called on a non-empty, non-fallen-back queue.
+func (q *calQueue) findHead() int {
+	for {
+		a := q.curA
+		for n := 0; n <= int(q.mask); n++ {
+			b := q.buckets[a&q.mask]
+			// The bucket's head is current exactly when its absolute
+			// bucket number equals the cursor's — computed fresh by the
+			// same expression insertion used, so no drift.
+			if len(b) > 0 && q.bucketOf(b[0].t) == a {
+				q.curA = a
+				q.noteCost(n)
+				return int(a & q.mask)
+			}
+			a++
+		}
+		// A whole year of buckets held nothing current: jump the cursor
+		// straight to the globally earliest event (sparse far-future
+		// tail) and rescan.
+		q.directScans++
+		best := -1
+		for bi := range q.buckets {
+			b := q.buckets[bi]
+			if len(b) == 0 {
+				continue
+			}
+			if best < 0 || b[0].t < q.buckets[best][0].t ||
+				(b[0].t == q.buckets[best][0].t && b[0].seq < q.buckets[best][0].seq) {
+				best = bi
+			}
+		}
+		q.noteCost(int(q.mask) + 1)
+		q.curA = q.bucketOf(q.buckets[best][0].t)
+	}
+}
+
+func (q *calQueue) pop() event {
+	if q.fellBack {
+		return q.hp.pop()
+	}
+	bi := q.findHead()
+	b := q.buckets[bi]
+	ev := b[0]
+	n := copy(b, b[1:])
+	b[n] = event{}
+	q.buckets[bi] = b[:n]
+	q.count--
+	if q.count < q.shrink {
+		q.adapt((int(q.mask) + 1) / 2)
+	}
+	q.checkFallback()
+	return ev
+}
+
+func (q *calQueue) head() (float64, int, bool) {
+	if q.fellBack {
+		return q.hp.head()
+	}
+	if q.count == 0 {
+		return 0, 0, false
+	}
+	b := q.buckets[q.findHead()]
+	return b[0].t, b[0].kind, true
+}
+
+// adapt resizes to nb buckets with a width re-sampled from the live
+// event population: the mean inter-event gap targets one event per
+// bucket under a uniform spread.
+func (q *calQueue) adapt(nb int) {
+	if nb < calMinBuckets {
+		nb = calMinBuckets
+	}
+	if nb == int(q.mask)+1 && nb != calMinBuckets {
+		return
+	}
+	minT, maxT := math.Inf(1), math.Inf(-1)
+	for _, b := range q.buckets {
+		for i := range b {
+			if b[i].t < minT {
+				minT = b[i].t
+			}
+			if b[i].t > maxT {
+				maxT = b[i].t
+			}
+		}
+	}
+	width := q.width
+	if q.count > 1 && maxT > minT {
+		width = (maxT - minT) / float64(q.count)
+	}
+	// Keep absolute bucket numbers (t/width) well inside int64 range.
+	if m := math.Max(math.Abs(maxT), math.Abs(minT)); m > 0 && width < m*1e-15 {
+		width = m * 1e-15
+	}
+	if width <= 0 || math.IsInf(width, 0) || math.IsNaN(width) {
+		width = 1
+	}
+	q.resizes++
+	q.reshape(nb, width)
+}
+
+// noteCost accumulates the scan-step cost of one operation for the
+// fallback monitor.
+func (q *calQueue) noteCost(c int) {
+	q.opCost += int64(c)
+	q.ops++
+}
+
+// checkFallback demotes the queue to the retained binary heap when the
+// completed cost window averages more scan steps per operation than a
+// heap would plausibly cost. Called only between operations, never
+// mid-scan, so the structure is always consistent when it drains. The
+// switch is invisible in outputs: both structures pop the same (t, seq)
+// order.
+func (q *calQueue) checkFallback() {
+	if q.ops < calFallbackWindow {
+		return
+	}
+	if q.opCost > calFallbackCost*q.ops {
+		q.fallbackToHeap()
+	}
+	q.opCost, q.ops = 0, 0
+}
+
+// fallbackToHeap drains every bucket into the binary heap and routes
+// all further operations there.
+func (q *calQueue) fallbackToHeap() {
+	for bi, b := range q.buckets {
+		for _, ev := range b {
+			q.hp.push(ev)
+		}
+		q.buckets[bi] = nil
+	}
+	q.count = 0
+	q.fellBack = true
+}
+
+// queueStats reports the adaptation counters for the profiling layer.
+func (q *calQueue) queueStats() (resizes, directScans int64, fellBack bool) {
+	return q.resizes, q.directScans, q.fellBack
+}

@@ -337,6 +337,50 @@ func TestFaultRunDeterministic(t *testing.T) {
 	}
 }
 
+// TestFaultRunAcrossEventCoreToggles: a fault-injected run — kills,
+// retries, mask/unmask churn and all — produces one digest across the
+// whole event-core matrix: {calendar, heap} queue × {incremental,
+// rebuild} scheduler state × {counted, naive} metrics. Fault events
+// stress exactly the paths the fault-free goldens cannot (the
+// fault-first tie rule against the queue head, watermark invalidation
+// on mask/unmask, dead-handle recycling through the queue).
+func TestFaultRunAcrossEventCoreToggles(t *testing.T) {
+	for _, spec := range []string{"hilbert/bestfit", "mc1x1"} {
+		t.Run(spec, func(t *testing.T) {
+			tr := faultTrace(150, 32)
+			base, err := Run(faultyCfg(spec, 0), tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base.Killed == 0 {
+				t.Fatalf("workload too calm: no kills")
+			}
+			want := goldenDigest(base)
+			for _, equeue := range []string{"calendar", "heap"} {
+				for _, rebuild := range []bool{false, true} {
+					for _, naive := range []bool{false, true} {
+						cfg := faultyCfg(spec, 0)
+						cfg.EventQueue = equeue
+						cfg.RebuildSched = rebuild
+						cfg.NaiveMetrics = naive
+						res, err := Run(cfg, tr)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := goldenDigest(res); got != want {
+							t.Fatalf("%s/rebuild=%v/naive=%v digest %s, want %s",
+								equeue, rebuild, naive, got, want)
+						}
+						if res.Killed != base.Killed || res.Retried != base.Retried || res.GivenUp != base.GivenUp {
+							t.Fatalf("%s/rebuild=%v/naive=%v fault counters diverge", equeue, rebuild, naive)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
 // TestFaultsDisabledMatchesGolden: an explicitly zero fault config
 // must reproduce every pinned golden digest — the fault-free path is
 // bit-identical to the pre-fault engine.

@@ -97,3 +97,38 @@ func TestBatchRunGoldenDigests(t *testing.T) {
 		})
 	}
 }
+
+// TestGoldenDigestsAcrossEventCoreToggles re-runs every golden case
+// through the full event-core configuration matrix — {calendar, heap}
+// event queue × {incremental, rebuild-per-round} scheduler state ×
+// {counted, naive} dispersal metrics — and requires the identical
+// pre-overhaul digest from each of the eight combinations. This is the
+// equivalence contract of the PR 9 overhaul: every fast path must be a
+// pure performance change, indistinguishable in any output bit from the
+// retained reference implementations.
+func TestGoldenDigestsAcrossEventCoreToggles(t *testing.T) {
+	for _, tc := range goldenCases {
+		for _, equeue := range []string{"calendar", "heap"} {
+			for _, rebuild := range []bool{false, true} {
+				for _, naive := range []bool{false, true} {
+					cfg := tc.cfg
+					cfg.EventQueue = equeue
+					cfg.RebuildSched = rebuild
+					cfg.NaiveMetrics = naive
+					name := fmt.Sprintf("%s/%s/rebuild=%v/naive=%v", tc.name, equeue, rebuild, naive)
+					t.Run(name, func(t *testing.T) {
+						tr := trace.NewSDSC(trace.SDSCConfig{Jobs: tc.jobs, MaxSize: tc.max, Seed: 1}).
+							FilterMaxSize(tc.max)
+						res, err := Run(cfg, tr)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if got := goldenDigest(res); got != tc.digest {
+							t.Fatalf("digest %s, want %s (toggle combination diverged)", got, tc.digest)
+						}
+					})
+				}
+			}
+		}
+	}
+}

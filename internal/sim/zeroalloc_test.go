@@ -1,0 +1,104 @@
+package sim
+
+// White-box allocation guards for the scheduler round itself, so the
+// incremental structures of the event-core overhaul (persistent
+// pendBuf, end-time-ordered running index, head-blocked watermark)
+// cannot silently reintroduce per-event allocation. The repo-root
+// zeroalloc_test.go pins the whole engine per job; these pin the
+// trySchedule round in isolation.
+
+import (
+	"testing"
+
+	"meshalloc/internal/trace"
+)
+
+// TestTryScheduleHeadBlockedZeroAlloc pins a head-blocked scheduling
+// round at exactly zero allocations for every policy: FCFS and SJF
+// short-circuit on the watermark, and EASY — which must re-scan because
+// its backfill decisions depend on the clock — runs its full PickSorted
+// round over the persistent pendBuf and runOrd without copying either.
+func TestTryScheduleHeadBlockedZeroAlloc(t *testing.T) {
+	for _, policy := range []string{"fcfs", "sjf", "easy"} {
+		t.Run(policy, func(t *testing.T) {
+			cfg := Config{
+				MeshW: 8, MeshH: 8,
+				Alloc: "hilbert/bestfit", Pattern: "nbody", Seed: 1,
+				Scheduler:   policy,
+				KeepRecords: Discard, KeepNodes: Discard,
+			}
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Fill the machine, then queue jobs that cannot start.
+			jobs := []trace.Job{
+				{ID: 1, Size: 64, Arrival: 0, Runtime: 1000},
+				{ID: 2, Size: 64, Arrival: 1, Runtime: 1000},
+				{ID: 3, Size: 32, Arrival: 1, Runtime: 10},
+				{ID: 4, Size: 48, Arrival: 1, Runtime: 500},
+			}
+			for _, j := range jobs {
+				if err := e.Submit(j); err != nil {
+					t.Fatal(err)
+				}
+			}
+			e.RunUntil(2)
+			if e.RunningJobs() != 1 || e.Pending() != 3 {
+				t.Fatalf("setup: %d running, %d pending; want 1 running, 3 pending",
+					e.RunningJobs(), e.Pending())
+			}
+			e.trySchedule(e.now) // warm any lazily-grown scratch
+			n := testing.AllocsPerRun(200, func() {
+				e.trySchedule(e.now)
+			})
+			if n != 0 {
+				t.Fatalf("%s head-blocked round allocates %.1f objects, want 0", policy, n)
+			}
+			if e.RunningJobs() != 1 || e.Pending() != 3 {
+				t.Fatalf("blocked rounds changed state: %d running, %d pending",
+					e.RunningJobs(), e.Pending())
+			}
+		})
+	}
+}
+
+// TestTryScheduleDispatchSteadyStateAllocs pins the full dispatching
+// cycle — arrival event, scheduling round, allocation, message phases,
+// finish with counted dispersal metrics — at a small constant per job
+// on the Discard path: the allocator's returned id slice plus the
+// pattern generator, nothing per-event and nothing per-round.
+func TestTryScheduleDispatchSteadyStateAllocs(t *testing.T) {
+	for _, policy := range []string{"fcfs", "easy"} {
+		t.Run(policy, func(t *testing.T) {
+			cfg := Config{
+				MeshW: 8, MeshH: 8,
+				Alloc: "hilbert/bestfit", Pattern: "nbody", Seed: 1,
+				Scheduler:   policy,
+				KeepRecords: Discard, KeepNodes: Discard,
+			}
+			e, err := NewEngine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			id := 0
+			cycle := func() {
+				id++
+				if err := e.Submit(trace.Job{ID: id, Size: 16, Arrival: e.Now(), Runtime: 5}); err != nil {
+					t.Fatal(err)
+				}
+				e.Drain()
+			}
+			for i := 0; i < 50; i++ {
+				cycle() // warm pools, scratch and event-queue buckets
+			}
+			n := testing.AllocsPerRun(200, cycle)
+			if n > 4 {
+				t.Fatalf("%s dispatch cycle allocates %.1f objects/job, want <= 4", policy, n)
+			}
+			if e.Finished() != id {
+				t.Fatalf("finished %d of %d jobs", e.Finished(), id)
+			}
+		})
+	}
+}

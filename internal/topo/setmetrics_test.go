@@ -1,0 +1,137 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomSubset draws n distinct ids from [0, size).
+func randomSubset(rng *rand.Rand, size, n int) []int {
+	perm := rng.Perm(size)
+	return perm[:n]
+}
+
+// TestCountedMetricsMatchReference pins the counted forms against the
+// materializing reference walks over random subsets of meshes and tori
+// in 1..4 dimensions, including single-node, full-machine and clustered
+// sets.
+func TestCountedMetricsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	shapes := [][]int{{16}, {16, 22}, {8, 8, 8}, {4, 3, 5, 2}, {2, 2}, {1, 9}}
+	for _, dims := range shapes {
+		for _, torus := range []bool{false, true} {
+			var g *Grid
+			if torus {
+				g = NewTorus(dims)
+			} else {
+				g = New(dims)
+			}
+			var sc SetScratch
+			name := fmt.Sprintf("%v/torus=%v", dims, torus)
+			t.Run(name, func(t *testing.T) {
+				sizes := []int{0, 1, 2, 3, g.Size() / 3, g.Size()}
+				for _, n := range sizes {
+					if n > g.Size() {
+						continue
+					}
+					for rep := 0; rep < 8; rep++ {
+						ids := randomSubset(rng, g.Size(), n)
+						wantTotal := g.TotalPairwiseDist(ids)
+						if got := g.TotalPairwiseDistCounted(ids, &sc); got != wantTotal {
+							t.Fatalf("n=%d rep=%d: counted pairwise %d, reference %d", n, rep, got, wantTotal)
+						}
+						if got, want := g.AvgPairwiseDistCounted(ids, &sc), g.AvgPairwiseDist(ids); got != want {
+							t.Fatalf("n=%d rep=%d: counted avg %v, reference %v", n, rep, got, want)
+						}
+						wantComps := len(g.Components(ids))
+						if got := g.CountComponents(ids, &sc); got != wantComps {
+							t.Fatalf("n=%d rep=%d: counted components %d, reference %d (ids %v)", n, rep, got, wantComps, ids)
+						}
+					}
+				}
+				// A contiguous box must count as one component.
+				if g.Size() >= 4 && !torus {
+					box := []int{0, 1}
+					if dims[0] == 1 {
+						box = []int{0, g.stride[1]}
+					}
+					if got := g.CountComponents(box, &sc); got != 1 {
+						t.Fatalf("adjacent pair counts %d components", got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestCountedMetricsScratchReuse runs many calls through one scratch so
+// the epoch-stamp clearing discipline (no per-call zeroing) is exercised
+// across grids of different sizes.
+func TestCountedMetricsScratchReuse(t *testing.T) {
+	var sc SetScratch
+	rng := rand.New(rand.NewSource(3))
+	grids := []*Grid{New([]int{16, 16}), New([]int{4, 4}), NewTorus([]int{8, 8, 8})}
+	for rep := 0; rep < 200; rep++ {
+		g := grids[rep%len(grids)]
+		ids := randomSubset(rng, g.Size(), 1+rng.Intn(g.Size()-1))
+		if got, want := g.CountComponents(ids, &sc), len(g.Components(ids)); got != want {
+			t.Fatalf("rep %d: components %d, want %d", rep, got, want)
+		}
+		if got, want := g.TotalPairwiseDistCounted(ids, &sc), g.TotalPairwiseDist(ids); got != want {
+			t.Fatalf("rep %d: pairwise %d, want %d", rep, got, want)
+		}
+	}
+}
+
+// FuzzCountedMetricsEquivalence fuzzes the counted metrics against the
+// reference walks on a mesh and a torus of the same shape.
+func FuzzCountedMetricsEquivalence(f *testing.F) {
+	f.Add(uint64(1), uint8(8), uint8(7), uint8(120))
+	f.Add(uint64(99), uint8(16), uint8(16), uint8(3))
+	f.Add(uint64(5), uint8(3), uint8(3), uint8(9))
+	f.Fuzz(func(t *testing.T, seed uint64, w, h uint8, n uint8) {
+		W, H := int(w%24)+1, int(h%24)+1
+		size := W * H
+		k := int(n) % (size + 1)
+		rng := rand.New(rand.NewSource(int64(seed)))
+		ids := randomSubset(rng, size, k)
+		for _, torus := range []bool{false, true} {
+			var g *Grid
+			if torus {
+				g = NewTorus([]int{W, H})
+			} else {
+				g = New([]int{W, H})
+			}
+			var sc SetScratch
+			if got, want := g.TotalPairwiseDistCounted(ids, &sc), g.TotalPairwiseDist(ids); got != want {
+				t.Fatalf("torus=%v: pairwise %d, want %d (ids %v)", torus, got, want, ids)
+			}
+			if got, want := g.CountComponents(ids, &sc), len(g.Components(ids)); got != want {
+				t.Fatalf("torus=%v: components %d, want %d (ids %v)", torus, got, want, ids)
+			}
+		}
+	})
+}
+
+// TestCountedMetricsZeroAlloc pins the counted metrics at zero
+// allocations once the scratch is warm — they run once per finished job
+// on the engine's hot path.
+func TestCountedMetricsZeroAlloc(t *testing.T) {
+	g := New([]int{16, 16})
+	var sc SetScratch
+	ids := make([]int, 0, 64)
+	for i := 0; i < 64; i++ {
+		ids = append(ids, (i*37)%g.Size())
+	}
+	// Warm the scratch (stack high-water mark included).
+	g.CountComponents(ids, &sc)
+	g.TotalPairwiseDistCounted(ids, &sc)
+	n := testing.AllocsPerRun(200, func() {
+		g.CountComponents(ids, &sc)
+		g.TotalPairwiseDistCounted(ids, &sc)
+	})
+	if n != 0 {
+		t.Fatalf("counted metrics allocate %.1f objects/run, want 0", n)
+	}
+}
