@@ -15,6 +15,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -33,6 +34,7 @@ import (
 	"meshalloc/internal/netsim"
 	"meshalloc/internal/sched"
 	"meshalloc/internal/sim"
+	"meshalloc/internal/snap"
 	"meshalloc/internal/topo"
 	"meshalloc/internal/trace"
 )
@@ -65,6 +67,10 @@ func main() {
 		retrySpec = flag.String("retry", "", "retry policy for killed jobs: none, immediate[:MAXATTEMPTS] or backoff:BASESEC,CAPSEC[,MAXATTEMPTS] (empty = immediate, unlimited)")
 		equeue    = flag.String("equeue", "", "event queue implementation: calendar or heap (empty = calendar)")
 		rebuild   = flag.Bool("rebuild-sched", false, "rebuild scheduler state from scratch every round (reference path; slower, bit-identical)")
+		ckptPath  = flag.String("checkpoint", "", "write a resumable checkpoint to this file every -checkpoint-every events (atomic replace)")
+		ckptEvery = flag.Int64("checkpoint-every", 0, "events between checkpoints (requires -checkpoint)")
+		resume    = flag.String("resume", "", "resume from a -checkpoint file; pass the same configuration flags as the original run")
+		auditEv   = flag.Int("audit-every", 0, "run the engine invariant auditor every N events (0 = audit only at end of run)")
 		cpuProf   = flag.String("cpuprofile", "", "write a pprof CPU profile of the simulation to this file")
 		memProf   = flag.String("memprofile", "", "write a pprof allocation profile (after the run) to this file")
 	)
@@ -95,6 +101,21 @@ func main() {
 		fatal(fmt.Errorf("unknown -equeue value %q (valid -equeue values: calendar, heap)", *equeue))
 	}
 
+	// Durability flags fail fast before any workload is built: a typo'd
+	// checkpoint cadence must not surface hours into a sweep.
+	if *auditEv < 0 {
+		fatal(fmt.Errorf("-audit-every must be >= 0 (got %d)", *auditEv))
+	}
+	if *ckptEvery < 0 {
+		fatal(fmt.Errorf("-checkpoint-every must be > 0 (got %d)", *ckptEvery))
+	}
+	if (*ckptPath != "") != (*ckptEvery > 0) {
+		fatal(fmt.Errorf("-checkpoint and -checkpoint-every must be used together"))
+	}
+	if *resume != "" && *traceFile != "" {
+		fatal(fmt.Errorf("-resume restores the workload from the checkpoint; drop -trace"))
+	}
+
 	cfg := sim.Config{
 		Dims:         dims,
 		Torus:        *torus,
@@ -107,6 +128,7 @@ func main() {
 		AllocWorkers: *allocWk,
 		EventQueue:   *equeue,
 		RebuildSched: *rebuild,
+		AuditEvery:   *auditEv,
 	}
 	if *issue == "sequential" {
 		cfg.Issue = sim.IssueSequential
@@ -165,13 +187,16 @@ func main() {
 		}
 	}
 
+	ck := ckptSpec{path: *ckptPath, every: *ckptEvery}
 	var res *sim.Result
 	var eng *sim.Engine
-	if *arrival != "" {
+	if *resume != "" {
+		res, eng, err = runResume(cfg, *resume, *arrival, size, *seed, *jobs, *duration, *stream, ck)
+	} else if *arrival != "" {
 		if *traceFile != "" {
 			fatal(fmt.Errorf("-arrival generates its own workload; drop -trace"))
 		}
-		res, eng, err = runOpen(cfg, *arrival, size, *seed, *jobs, *duration, *stream)
+		res, eng, err = runOpen(cfg, *arrival, size, *seed, *jobs, *duration, *stream, ck)
 	} else {
 		var tr *trace.Trace
 		if *traceFile != "" {
@@ -199,9 +224,9 @@ func main() {
 		}
 		tr = tr.FilterMaxSize(size)
 		if *stream {
-			res, eng, err = runStreaming(cfg, tr)
+			res, eng, err = runStreaming(cfg, tr, ck)
 		} else {
-			res, eng, err = runBatch(cfg, tr)
+			res, eng, err = runBatch(cfg, tr, ck)
 		}
 	}
 	if err != nil {
@@ -305,7 +330,7 @@ func main() {
 // emits the same NDJSON schema in open and closed mode. The stream
 // ends at the horizon (trace seconds) or the jobs cap, whichever comes
 // first.
-func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, horizon float64, stream bool) (*sim.Result, *sim.Engine, error) {
+func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, horizon float64, stream bool, ck ckptSpec) (*sim.Result, *sim.Engine, error) {
 	src, err := parseArrival(spec, maxSize, seed)
 	if err != nil {
 		return nil, nil, err
@@ -319,7 +344,9 @@ func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, hor
 	if stream {
 		flush = observeNDJSON(e)
 	}
-	if err := e.RunSource(trace.Limit(src, jobs), horizon); err != nil {
+	lim := trace.Limit(src, jobs)
+	armCheckpoint(e, lim, ck)
+	if err := e.RunSource(lim, horizon); err != nil {
 		return nil, nil, err
 	}
 	// A horizon stop leaves in-flight jobs pending; let them finish so
@@ -334,7 +361,7 @@ func runOpen(cfg sim.Config, spec string, maxSize int, seed int64, jobs int, hor
 // engine's streaming aggregates. Jobs are submitted up front exactly
 // as sim.Run does, so -stream changes the output format only — even
 // event-time ties resolve in the same order as the batch path.
-func runStreaming(cfg sim.Config, tr *trace.Trace) (*sim.Result, *sim.Engine, error) {
+func runStreaming(cfg sim.Config, tr *trace.Trace, ck ckptSpec) (*sim.Result, *sim.Engine, error) {
 	cfg.KeepRecords = sim.Discard
 	e, err := sim.NewEngine(cfg)
 	if err != nil {
@@ -346,6 +373,7 @@ func runStreaming(cfg sim.Config, tr *trace.Trace) (*sim.Result, *sim.Engine, er
 			return nil, nil, err
 		}
 	}
+	armCheckpoint(e, nil, ck)
 	e.Drain()
 	if e.Deadlocked() {
 		return nil, nil, fmt.Errorf("deadlock with %d queued and %d running jobs", e.Pending(), e.RunningJobs())
@@ -357,7 +385,7 @@ func runStreaming(cfg sim.Config, tr *trace.Trace) (*sim.Result, *sim.Engine, er
 // runBatch is sim.Run with the engine handle kept, so the profiling
 // report can read the event-core counters. Submission order, event
 // processing and the deadlock check match sim.Run exactly.
-func runBatch(cfg sim.Config, tr *trace.Trace) (*sim.Result, *sim.Engine, error) {
+func runBatch(cfg sim.Config, tr *trace.Trace, ck ckptSpec) (*sim.Result, *sim.Engine, error) {
 	e, err := sim.NewEngine(cfg)
 	if err != nil {
 		return nil, nil, err
@@ -367,10 +395,183 @@ func runBatch(cfg sim.Config, tr *trace.Trace) (*sim.Result, *sim.Engine, error)
 			return nil, nil, err
 		}
 	}
+	armCheckpoint(e, nil, ck)
 	e.Drain()
 	if e.Deadlocked() {
 		return nil, nil, fmt.Errorf("deadlock with %d queued and %d running jobs", e.Pending(), e.RunningJobs())
 	}
+	return e.Result(), e, nil
+}
+
+// ckptSpec carries the -checkpoint flags: where to write and how many
+// events between writes. A zero spec disables checkpointing.
+type ckptSpec struct {
+	path  string
+	every int64
+}
+
+// armCheckpoint hooks the engine's periodic checkpoint callback to
+// write ck.path atomically every ck.every events. src is the live
+// open-system source whose position rides along in the file (nil for
+// closed-system runs, whose arrivals are already engine events). A
+// checkpoint that cannot be written aborts the run: continuing would
+// silently drop the durability the user asked for.
+func armCheckpoint(e *sim.Engine, src trace.Source, ck ckptSpec) {
+	if ck.path == "" {
+		return
+	}
+	e.SetCheckpoint(ck.every, func() {
+		if err := writeCheckpoint(ck.path, e, src); err != nil {
+			fatal(fmt.Errorf("-checkpoint: %v", err))
+		}
+	})
+}
+
+// writeCheckpoint serializes the engine (and, for open systems, the
+// arrival source position) into a snap container at path. The file is
+// staged as path.tmp and renamed into place so a crash mid-write never
+// corrupts the previous good checkpoint.
+func writeCheckpoint(path string, e *sim.Engine, src trace.Source) error {
+	var blob bytes.Buffer
+	if err := e.Snapshot(&blob); err != nil {
+		return err
+	}
+	w := snap.NewWriter()
+	w.Bytes(blob.Bytes())
+	if src != nil {
+		st, err := trace.CaptureSource(src)
+		if err != nil {
+			return err
+		}
+		w.Bool(true)
+		writeSourceState(w, st)
+	} else {
+		w.Bool(false)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := w.Flush(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func writeSourceState(w *snap.Writer, st trace.SourceState) {
+	w.String(st.Kind)
+	w.U64(st.RNGPos)
+	w.F64(st.OnLeft)
+	w.F64(st.Now)
+	w.Int(st.Next)
+	w.Int(st.Index)
+	w.Int(st.Left)
+	w.Bool(st.Inner != nil)
+	if st.Inner != nil {
+		writeSourceState(w, *st.Inner)
+	}
+}
+
+func readSourceState(r *snap.Reader, depth int) (trace.SourceState, error) {
+	var st trace.SourceState
+	if depth > 8 {
+		return st, fmt.Errorf("source state nests deeper than any source this binary builds")
+	}
+	st.Kind = r.String()
+	st.RNGPos = r.U64()
+	st.OnLeft = r.F64()
+	st.Now = r.F64()
+	st.Next = r.Int()
+	st.Index = r.Int()
+	st.Left = r.Int()
+	if r.Bool() {
+		inner, err := readSourceState(r, depth+1)
+		if err != nil {
+			return st, err
+		}
+		st.Inner = &inner
+	}
+	return st, r.Err()
+}
+
+// runResume restores a checkpoint written by -checkpoint and finishes
+// the run. Closed-system checkpoints carry every pending arrival as
+// engine events, so the trace is not re-read; open-system checkpoints
+// additionally record the arrival-source position, and the caller must
+// pass the original -arrival spec (and -jobs/-duration) to rebuild it.
+func runResume(cfg sim.Config, path, arrivalSpec string, maxSize int, seed int64, jobs int, horizon float64, stream bool, ck ckptSpec) (*sim.Result, *sim.Engine, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := snap.NewReader(f)
+	f.Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("-resume %s: %v", path, err)
+	}
+	blob := r.Bytes()
+	hasSrc := r.Bool()
+	var st trace.SourceState
+	if hasSrc {
+		if st, err = readSourceState(r, 0); err != nil {
+			return nil, nil, fmt.Errorf("-resume %s: %v", path, err)
+		}
+	}
+	if r.Err() != nil {
+		return nil, nil, fmt.Errorf("-resume %s: %v", path, r.Err())
+	}
+	if n := r.Remaining(); n != 0 {
+		return nil, nil, fmt.Errorf("-resume %s: %d trailing bytes after checkpoint payload", path, n)
+	}
+	if hasSrc && arrivalSpec == "" {
+		return nil, nil, fmt.Errorf("-resume %s: checkpoint holds an open-system source; pass the original -arrival spec", path)
+	}
+	if !hasSrc && arrivalSpec != "" {
+		return nil, nil, fmt.Errorf("-resume %s: checkpoint is a closed-system run; drop -arrival", path)
+	}
+
+	// Mirror the KeepRecords choice the original run modes make, so the
+	// restore config fingerprint matches the checkpointed engine's.
+	if stream || arrivalSpec != "" {
+		cfg.KeepRecords = sim.Discard
+	}
+	e, err := sim.RestoreEngine(bytes.NewReader(blob), cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("-resume %s: %v", path, err)
+	}
+	flush := func() {}
+	if stream {
+		flush = observeNDJSON(e)
+	}
+	if hasSrc {
+		src, err := parseArrival(arrivalSpec, maxSize, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		lim := trace.Limit(src, jobs)
+		if err := trace.RestoreSource(lim, st); err != nil {
+			return nil, nil, fmt.Errorf("-resume %s: %v", path, err)
+		}
+		armCheckpoint(e, lim, ck)
+		if err := e.RunSource(lim, horizon); err != nil {
+			return nil, nil, err
+		}
+		e.Drain()
+	} else {
+		armCheckpoint(e, nil, ck)
+		e.Drain()
+		if e.Deadlocked() {
+			return nil, nil, fmt.Errorf("deadlock with %d queued and %d running jobs", e.Pending(), e.RunningJobs())
+		}
+	}
+	flush()
 	return e.Result(), e, nil
 }
 

@@ -121,6 +121,33 @@ func (a *SubmeshFirstFit) MarkUp(id int) {
 // tests.
 func (a *SubmeshFirstFit) SetWordScan(on bool) { a.wordScan = on }
 
+// Occupy shadows tracker.Occupy so restore-time occupation lands in the
+// take shadow that keeps the row bitmasks in lockstep.
+func (a *SubmeshFirstFit) Occupy(ids []int) {
+	for _, id := range ids {
+		if id < 0 || id >= len(a.busy) || a.busy[id] {
+			panic(fmt.Sprintf("alloc: occupy of busy or invalid id %d", id))
+		}
+	}
+	a.take(ids)
+}
+
+// AuditIndexes implements Auditor: the generic busy/free-count check
+// plus the row bitmasks the word-parallel anchor search depends on.
+func (a *SubmeshFirstFit) AuditIndexes() error {
+	if err := a.tracker.AuditIndexes(); err != nil {
+		return err
+	}
+	for id := range a.busy {
+		row, x := a.g.RowOf(id)
+		bit := a.rowBits[row*a.ww+x>>6]&(1<<(uint(x)&63)) != 0
+		if bit == a.busy[id] {
+			return fmt.Errorf("alloc: node %d busy=%v but row bitmask free=%v", id, a.busy[id], bit)
+		}
+	}
+	return nil
+}
+
 // Name implements Allocator.
 func (a *SubmeshFirstFit) Name() string { return "submesh" }
 
@@ -381,6 +408,91 @@ func (b *Buddy) freeAndCoalesce(origin mesh.Point, level int) {
 		level--
 	}
 	b.free[level][origin] = true
+}
+
+// Occupy implements Occupier by carving the job's block back out of
+// the quadtree: the block level follows from the id count exactly as in
+// Allocate, and the deepest free ancestor containing the block's origin
+// is split downward, freeing the non-containing children. Eager
+// coalescing on release plus this lazy splitting make the free-block
+// set a pure function of the allocated-block set, so re-occupying jobs
+// in any order reconstructs the same quadtree the run had at snapshot
+// time. It panics on a block that is misaligned or not free — a corrupt
+// snapshot the restore path converts to a typed error.
+func (b *Buddy) Occupy(ids []int) {
+	if len(ids) == 0 || len(ids) > b.m.Size() {
+		panic(fmt.Sprintf("alloc: buddy occupy of %d ids", len(ids)))
+	}
+	if ids[0] < 0 || ids[0] >= b.m.Size() {
+		panic(fmt.Sprintf("alloc: buddy occupy of invalid id %d", ids[0]))
+	}
+	level := b.levelFor(len(ids))
+	s := b.blockSide(level)
+	origin := b.m.Coord(ids[0])
+	if origin.X&(s-1) != 0 || origin.Y&(s-1) != 0 {
+		panic(fmt.Sprintf("alloc: buddy occupy of misaligned block at %v (side %d)", origin, s))
+	}
+	if _, taken := b.alloced[origin]; taken {
+		panic(fmt.Sprintf("alloc: buddy occupy of allocated block at %v", origin))
+	}
+	// Find the deepest free ancestor containing the block.
+	anc, ancLevel := mesh.Point{}, -1
+	for l := level; l >= 0; l-- {
+		S := b.blockSide(l)
+		p := mesh.Point{X: origin.X &^ (S - 1), Y: origin.Y &^ (S - 1)}
+		if b.free[l][p] {
+			anc, ancLevel = p, l
+			break
+		}
+	}
+	if ancLevel < 0 {
+		panic(fmt.Sprintf("alloc: buddy occupy with no free block covering %v", origin))
+	}
+	delete(b.free[ancLevel], anc)
+	// Split down to the target level, keeping the child containing the
+	// origin and freeing its three siblings at each step.
+	for l := ancLevel; l < level; l++ {
+		S := b.blockSide(l + 1)
+		keep := mesh.Point{X: origin.X &^ (S - 1), Y: origin.Y &^ (S - 1)}
+		for _, d := range []mesh.Point{{X: 0, Y: 0}, {X: S, Y: 0}, {X: 0, Y: S}, {X: S, Y: S}} {
+			if child := anc.Add(d); child != keep {
+				b.free[l+1][child] = true
+			}
+		}
+		anc = keep
+	}
+	b.alloced[origin] = level
+	b.byFirst[b.m.ID(origin)] = origin
+	b.numFree -= s * s
+}
+
+// AuditIndexes implements Auditor: free-block areas must sum to the
+// cached free count, allocated blocks must tile the remainder, and the
+// byFirst index must mirror the allocated set.
+func (b *Buddy) AuditIndexes() error {
+	freeArea := 0
+	for l, set := range b.free {
+		s := b.blockSide(l)
+		freeArea += len(set) * s * s
+	}
+	if freeArea != b.numFree {
+		return fmt.Errorf("alloc: buddy free blocks cover %d processors, cached numFree %d", freeArea, b.numFree)
+	}
+	allocArea := 0
+	for origin, l := range b.alloced {
+		s := b.blockSide(l)
+		allocArea += s * s
+		if got, ok := b.byFirst[b.m.ID(origin)]; !ok || got != origin {
+			return fmt.Errorf("alloc: buddy block at %v missing from the byFirst index", origin)
+		}
+	}
+	if len(b.byFirst) != len(b.alloced) {
+		return fmt.Errorf("alloc: buddy byFirst holds %d blocks, alloced %d", len(b.byFirst), len(b.alloced))
+	}
+	if freeArea+allocArea != b.m.Size() {
+		return fmt.Errorf("alloc: buddy blocks cover %d of %d processors", freeArea+allocArea, b.m.Size())
+	}
+	return nil
 }
 
 // NumFree implements Allocator: processors in free blocks.

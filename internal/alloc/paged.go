@@ -152,6 +152,63 @@ func (p *PagedPaging) Release(ids []int) {
 	}
 }
 
+// Occupy implements Occupier. The ids identify their pages exactly as
+// in Release — every page an allocation held contributes at least one
+// id, because Allocate gathers pages only while the request is not yet
+// covered — and whole pages (including the wasted remainder) are
+// re-marked busy. It panics on an invalid id or an already-busy page.
+func (p *PagedPaging) Occupy(ids []int) {
+	seen := map[int]bool{}
+	for _, id := range ids {
+		if id < 0 || id >= len(p.pageOf) {
+			panic(fmt.Sprintf("alloc: occupy of invalid id %d", id))
+		}
+		pg := p.pageOf[id]
+		if seen[pg] {
+			continue
+		}
+		if p.pageBusy[pg] {
+			panic(fmt.Sprintf("alloc: occupy of busy page %d (id %d)", pg, id))
+		}
+		seen[pg] = true
+		p.pageBusy[pg] = true
+		p.packer.Occupy([]int{pg})
+		p.numFree -= len(p.pages[pg])
+	}
+}
+
+// AuxState implements AuxState: the page packer's NextFit resume rank.
+func (p *PagedPaging) AuxState() []uint64 {
+	return []uint64{uint64(p.packer.NextStart())}
+}
+
+// SetAuxState implements AuxState.
+func (p *PagedPaging) SetAuxState(words []uint64) error {
+	if len(words) != 1 {
+		return fmt.Errorf("alloc: paged aux state wants 1 word, got %d", len(words))
+	}
+	return p.packer.SetNextStart(int(int64(words[0])))
+}
+
+// AuditIndexes implements Auditor: the page packer's internal indexes,
+// the pageBusy mirror, and the processor-granular free count must all
+// agree.
+func (p *PagedPaging) AuditIndexes() error {
+	if err := p.packer.Audit(); err != nil {
+		return err
+	}
+	free := 0
+	for pg, busy := range p.pageBusy {
+		if !busy {
+			free += len(p.pages[pg])
+		}
+	}
+	if free != p.numFree {
+		return fmt.Errorf("alloc: free pages hold %d processors, cached numFree %d", free, p.numFree)
+	}
+	return nil
+}
+
 // NumFree implements Allocator: processors in free pages. Wasted
 // processors inside partially-used pages are not free.
 func (p *PagedPaging) NumFree() int { return p.numFree }

@@ -268,6 +268,61 @@ func (p *Packer) Release(ids []int) {
 	p.numFree += len(ids)
 }
 
+// Occupy marks exactly the given node ids busy, as if an earlier
+// Allocate had returned them — the restore path of a snapshot, where
+// the job→nodes assignment is authoritative and the packer's indexes
+// are rebuilt to match. It panics on an id that is already busy or out
+// of range, which would indicate a corrupt snapshot the caller should
+// have rejected.
+func (p *Packer) Occupy(ids []int) {
+	for _, id := range ids {
+		if id < 0 || id >= len(p.rankOf) {
+			panic(fmt.Sprintf("binpack: occupy of invalid id %d", id))
+		}
+		r := p.rankOf[id]
+		if !p.free[r] {
+			panic(fmt.Sprintf("binpack: occupy of busy id %d", id))
+		}
+		p.free[r] = false
+		p.bits.Clear(r)
+	}
+	p.numFree -= len(ids)
+}
+
+// NextStart returns the NextFit resume rank, the packer's only state
+// beyond the free set; SetNextStart restores it on snapshot restore.
+func (p *Packer) NextStart() int { return p.nextStart }
+
+// SetNextStart restores the NextFit resume rank. It errors on an
+// out-of-range value. (nextStart may legitimately equal Size after an
+// allocation ending at the last rank; pickNextFit then wraps.)
+func (p *Packer) SetNextStart(r int) error {
+	if r < 0 || r > len(p.order) {
+		return fmt.Errorf("binpack: next-fit resume rank %d outside [0, %d]", r, len(p.order))
+	}
+	p.nextStart = r
+	return nil
+}
+
+// Audit cross-checks the packer's redundant indexes — the boolean free
+// array, the bitset mirror, and the cached free count — and returns an
+// error describing the first divergence, or nil.
+func (p *Packer) Audit() error {
+	n := 0
+	for r, f := range p.free {
+		if f {
+			n++
+		}
+		if p.bits.Get(r) != f {
+			return fmt.Errorf("binpack: rank %d free=%v but bitset=%v", r, f, p.bits.Get(r))
+		}
+	}
+	if n != p.numFree {
+		return fmt.Errorf("binpack: counted %d free ranks, cached numFree %d", n, p.numFree)
+	}
+	return nil
+}
+
 // MarkDown removes a node from service: its rank reads as busy to
 // every strategy, interval scan and free count until MarkUp, exactly
 // as if a one-processor job occupied it. It panics if the node is

@@ -107,12 +107,16 @@ func (c *cachedPattern) Generator(p int, rng *stats.RNG) Generator {
 		phases = it.phases
 		c.bySize[p] = phases
 	}
-	return &phaseIter{phases: phases}
+	return &phaseIter{name: c.pat.Name(), p: p, phases: phases}
 }
 
 // phaseIter drives a fixed per-round message schedule: rounds of phases of
-// messages, repeated forever.
+// messages, repeated forever. name and p identify the schedule's origin
+// so a snapshot can rebuild the (immutable, potentially shared) phase
+// table from the pattern registry instead of serializing it.
 type phaseIter struct {
+	name   string
+	p      int
 	phases [][]Msg
 	phase  int
 	idx    int
@@ -134,7 +138,7 @@ func (it *phaseIter) Next() (Msg, bool) {
 // singleRank returns the degenerate schedule for one-processor jobs,
 // which only talk to themselves.
 func singleRank() *phaseIter {
-	return &phaseIter{phases: [][]Msg{{{Src: 0, Dst: 0}}}}
+	return &phaseIter{name: "single", p: 1, phases: [][]Msg{{{Src: 0, Dst: 0}}}}
 }
 
 // AllToAll is the all-to-all pattern: each processor sends one message to
@@ -159,7 +163,7 @@ func (AllToAll) Generator(p int, _ *stats.RNG) Generator {
 			}
 		}
 	}
-	return &phaseIter{phases: [][]Msg{msgs}}
+	return &phaseIter{name: "alltoall", p: p, phases: [][]Msg{msgs}}
 }
 
 // NBody is the paper's n-body force-computation pattern. The processors
@@ -191,7 +195,7 @@ func (NBody) Generator(p int, _ *stats.RNG) Generator {
 		chordal[i] = Msg{Src: i, Dst: (i + p/2) % p}
 	}
 	phases = append(phases, chordal)
-	return &phaseIter{phases: phases}
+	return &phaseIter{name: "nbody", p: p, phases: phases}
 }
 
 // Ring is the plain ring-shift pattern from the CPlant test suite: each
@@ -211,7 +215,7 @@ func (Ring) Generator(p int, _ *stats.RNG) Generator {
 	for i := 0; i < p; i++ {
 		msgs[i] = Msg{Src: i, Dst: (i + 1) % p}
 	}
-	return &phaseIter{phases: [][]Msg{msgs}}
+	return &phaseIter{name: "ring", p: p, phases: [][]Msg{msgs}}
 }
 
 // PingPong is the all-pairs ping-pong pattern from the CPlant test suite:
@@ -234,7 +238,7 @@ func (PingPong) Generator(p int, _ *stats.RNG) Generator {
 			phases = append(phases, []Msg{{Src: i, Dst: j}, {Src: j, Dst: i}})
 		}
 	}
-	return &phaseIter{phases: phases}
+	return &phaseIter{name: "pingpong", p: p, phases: phases}
 }
 
 // Random sends each message between a uniformly random ordered pair of
@@ -310,7 +314,7 @@ func (TestSuite) Generator(p int, rng *stats.RNG) Generator {
 		ringPhase[i] = Msg{Src: i, Dst: (i + 1) % p}
 	}
 	phases = append(phases, ringPhase)
-	return &phaseIter{phases: phases}
+	return &phaseIter{name: "testsuite", p: p, phases: phases}
 }
 
 // Mixed draws a pattern per job: all-to-all, n-body, random or ring with
@@ -328,6 +332,92 @@ func (Mixed) Generator(p int, rng *stats.RNG) Generator {
 	checkSize(p)
 	pool := []Pattern{AllToAll{}, NBody{}, Random{}, Ring{}}
 	return pool[rng.Intn(len(pool))].Generator(p, rng)
+}
+
+// GenState is the serializable state of a Generator. Schedules are not
+// serialized: a phase-driven generator records which pattern built it
+// ("single" for the one-rank degenerate schedule) and its cursor, a
+// random generator records its message count (its variates come from
+// the engine RNG, whose position the engine snapshot captures
+// separately).
+type GenState struct {
+	Kind    string // "phase" or "random"
+	Pattern string // phase: the originating pattern name
+	P       int    // job size the generator was built for
+	Phase   int    // phase cursor (phase kind)
+	Idx     int    // intra-phase cursor (phase kind)
+	Count   int    // messages emitted (random kind)
+}
+
+// StateOf captures a Generator built by this package for a snapshot.
+// It errors on generator types it does not know how to rebuild.
+func StateOf(g Generator) (GenState, error) {
+	switch it := g.(type) {
+	case *phaseIter:
+		return GenState{Kind: "phase", Pattern: it.name, P: it.p, Phase: it.phase, Idx: it.idx}, nil
+	case *randomIter:
+		return GenState{Kind: "random", P: it.p, Count: it.count}, nil
+	default:
+		return GenState{}, fmt.Errorf("comm: cannot snapshot generator type %T", g)
+	}
+}
+
+// RestoreGen rebuilds a Generator from a snapshot state. hint, if
+// non-nil, is tried first when its Name matches the recorded pattern —
+// passing the engine's Cached-wrapped pattern here shares the memoized
+// schedule tables. rng is attached to random generators (deterministic
+// rebuilds never draw from it). Out-of-range cursors are rejected, so
+// a corrupt state cannot build a generator that panics later.
+func RestoreGen(st GenState, hint Pattern, rng *stats.RNG) (Generator, error) {
+	if st.P <= 0 {
+		return nil, fmt.Errorf("comm: generator state has job size %d", st.P)
+	}
+	switch st.Kind {
+	case "random":
+		g := Random{}.Generator(st.P, rng)
+		if it, ok := g.(*randomIter); ok {
+			if st.Count < 0 {
+				return nil, fmt.Errorf("comm: random generator count %d", st.Count)
+			}
+			it.count = st.Count
+		}
+		return g, nil
+	case "phase":
+		// Only deterministic patterns build phase schedules; rebuilding
+		// via Random or Mixed would draw from rng, perturbing the
+		// restored stream, so a state naming one is corrupt.
+		if st.Pattern == "random" || st.Pattern == "mixed" {
+			return nil, fmt.Errorf("comm: pattern %q cannot back a phase schedule", st.Pattern)
+		}
+		var g Generator
+		if st.Pattern == "single" {
+			g = singleRank()
+		} else {
+			pat := hint
+			if pat == nil || pat.Name() != st.Pattern {
+				var err error
+				pat, err = ByName(st.Pattern)
+				if err != nil {
+					return nil, err
+				}
+			}
+			g = pat.Generator(st.P, rng)
+		}
+		it, ok := g.(*phaseIter)
+		if !ok {
+			return nil, fmt.Errorf("comm: pattern %q rebuilt a non-schedule generator %T", st.Pattern, g)
+		}
+		if st.Phase < 0 || st.Phase >= len(it.phases) {
+			return nil, fmt.Errorf("comm: phase cursor %d outside the %d-phase %q schedule", st.Phase, len(it.phases), st.Pattern)
+		}
+		if st.Idx < 0 || st.Idx >= len(it.phases[st.Phase]) {
+			return nil, fmt.Errorf("comm: message cursor %d outside phase %d of %q", st.Idx, st.Phase, st.Pattern)
+		}
+		it.phase, it.idx = st.Phase, st.Idx
+		return it, nil
+	default:
+		return nil, fmt.Errorf("comm: unknown generator kind %q", st.Kind)
+	}
 }
 
 // RoundLen returns the number of messages in one full round of pattern

@@ -154,6 +154,55 @@ func (s *Stream) Next() (Event, bool) {
 	return ev, true
 }
 
+// ClockState is the serializable state of one node's failure clock.
+type ClockState struct {
+	T    float64
+	Node int
+	Down bool
+	RNG  uint64 // splitmix64 counter state
+}
+
+// State is the serializable state of a Stream: the clock heap verbatim
+// (heap-array order, so restoring preserves the heap property without
+// re-heapifying) plus the scripted-schedule cursor. The script itself
+// is a pure function of the Config and is rebuilt by NewStream.
+type State struct {
+	Clocks   []ClockState
+	ScriptAt int
+}
+
+// State captures the stream for a snapshot.
+func (s *Stream) State() State {
+	st := State{ScriptAt: s.scriptAt}
+	st.Clocks = make([]ClockState, len(s.clocks))
+	for i, c := range s.clocks {
+		st.Clocks[i] = ClockState{T: c.t, Node: c.node, Down: c.down, RNG: c.rng.State()}
+	}
+	return st
+}
+
+// SetState restores a state previously captured from a Stream built
+// with the same Config. It errors on out-of-range values rather than
+// installing inconsistent state.
+func (s *Stream) SetState(st State) error {
+	if st.ScriptAt < 0 || st.ScriptAt > len(s.script) {
+		return fmt.Errorf("fault: script cursor %d outside [0, %d]", st.ScriptAt, len(s.script))
+	}
+	// Clocks only ever shrink (permanent failures drop them), so a
+	// snapshot can never hold more clocks than the stream minted.
+	if len(st.Clocks) > cap(s.clocks) {
+		return fmt.Errorf("fault: %d clocks exceed the stream's %d", len(st.Clocks), cap(s.clocks))
+	}
+	s.clocks = s.clocks[:0]
+	for _, c := range st.Clocks {
+		var rng stats.Splitmix64
+		rng.SetState(c.RNG)
+		s.clocks = append(s.clocks, clock{t: c.T, node: c.Node, down: c.Down, rng: rng})
+	}
+	s.scriptAt = st.ScriptAt
+	return nil
+}
+
 // Schedule materializes every event with T < horizon, mainly for tests
 // and schedule dumps. The stream is consumed.
 func (s *Stream) Schedule(horizon float64) []Event {

@@ -262,6 +262,40 @@ func (n *Network) routeWait(route []topo.Link, t float64) float64 {
 // Stats returns the accumulated network statistics.
 func (n *Network) Stats() Stats { return n.stats }
 
+// State is the serializable dynamic state of a Network: per-link idle
+// times and busy accumulators, the aggregate statistics, and the send
+// clock (which must restore so the monotonicity check keeps holding).
+type State struct {
+	FreeAt   []float64
+	BusyTime []float64
+	Stats    Stats
+	Clock    float64
+}
+
+// State captures the network for a snapshot.
+func (n *Network) State() State {
+	return State{
+		FreeAt:   append([]float64(nil), n.freeAt...),
+		BusyTime: append([]float64(nil), n.busyTime...),
+		Stats:    n.stats,
+		Clock:    n.clock,
+	}
+}
+
+// SetState restores a state previously captured from a network over the
+// same grid. It errors on a link-count mismatch.
+func (n *Network) SetState(s State) error {
+	if len(s.FreeAt) != len(n.freeAt) || len(s.BusyTime) != len(n.busyTime) {
+		return fmt.Errorf("netsim: state has %d/%d links, network has %d",
+			len(s.FreeAt), len(s.BusyTime), len(n.freeAt))
+	}
+	copy(n.freeAt, s.FreeAt)
+	copy(n.busyTime, s.BusyTime)
+	n.stats = s.Stats
+	n.clock = s.Clock
+	return nil
+}
+
 // Config returns the network's timing configuration.
 func (n *Network) Config() Config { return n.cfg }
 

@@ -200,11 +200,26 @@ type Engine struct {
 	busyArea    float64 // processor-seconds held by jobs
 	queueArea   float64 // job-seconds spent queued
 
-	// held buffers a job RunSource pulled from its source but could not
-	// submit because it arrives past the horizon; a later RunSource call
-	// with a larger horizon resumes with it instead of losing it.
+	// held buffers a job RunSource pulled from its source but not yet
+	// submitted — because it arrives past the horizon, or because the
+	// clock is still advancing toward its arrival. A later RunSource
+	// call resumes with it instead of losing it, and a snapshot taken
+	// mid-advance carries it.
 	held    trace.Job
 	hasHeld bool
+
+	// submitted counts jobs accepted by Submit, the input side of the
+	// job-conservation invariant Audit checks.
+	submitted int
+
+	// Periodic hooks, both driven by the count of processed events:
+	// auditEvery runs Audit (panicking on violation, like every other
+	// bookkeeping check), ckptEvery fires the checkpoint callback.
+	auditEvery int64
+	sinceAudit int64
+	ckptEvery  int64
+	sinceCkpt  int64
+	ckptFn     func()
 
 	// Fault-injection state; all nil/zero on a fault-free engine, and
 	// every hot-path touch is gated on faults != nil so the fault-free
@@ -266,6 +281,9 @@ func NewEngine(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if cfg.AuditEvery < 0 {
+		return nil, fmt.Errorf("sim: AuditEvery must be >= 0, got %d", cfg.AuditEvery)
+	}
 	_, isFCFS := policy.(sched.FCFS)
 	_, isSJF := policy.(sched.SJF)
 	batcher, _ := allocator.(alloc.BatchAllocator)
@@ -281,6 +299,7 @@ func NewEngine(cfg Config) (*Engine, error) {
 		net:        netsim.New(m, cfg.Net),
 		rng:        stats.NewRNG(cfg.Seed),
 		respMedian: stats.NewP2Quantile(0.5),
+		auditEvery: int64(cfg.AuditEvery),
 	}
 	switch cfg.EventQueue {
 	case "calendar":
@@ -451,8 +470,44 @@ func (e *Engine) Submit(j trace.Job) error {
 	if j.Arrival < e.now {
 		j.Arrival = e.now
 	}
+	e.submitted++
 	e.push(event{t: j.Arrival, kind: kindArrival, arr: j})
 	return nil
+}
+
+// SetCheckpoint arms (or, with every <= 0 or fn nil, disarms) the
+// periodic checkpoint hook: fn runs after every `every`-th processed
+// event, at a point where the engine is between events and therefore
+// snapshot-consistent — the natural place for fn to call Snapshot.
+func (e *Engine) SetCheckpoint(every int64, fn func()) {
+	if every <= 0 || fn == nil {
+		e.ckptEvery, e.ckptFn = 0, nil
+		return
+	}
+	e.ckptEvery, e.ckptFn = every, fn
+	e.sinceCkpt = 0
+}
+
+// afterEvent runs the periodic hooks once per fully-processed event
+// (job or fault), when the engine is in a consistent between-events
+// state. A failed periodic audit panics: it means engine bookkeeping
+// has diverged, the same class of bug every other internal check
+// treats as fatal.
+func (e *Engine) afterEvent() {
+	if e.auditEvery > 0 {
+		if e.sinceAudit++; e.sinceAudit >= e.auditEvery {
+			e.sinceAudit = 0
+			if err := e.Audit(); err != nil {
+				panic(fmt.Sprintf("sim: periodic audit at t=%v: %v", e.now, err))
+			}
+		}
+	}
+	if e.ckptEvery > 0 {
+		if e.sinceCkpt++; e.sinceCkpt >= e.ckptEvery {
+			e.sinceCkpt = 0
+			e.ckptFn()
+		}
+	}
 }
 
 // enqueue appends an arrived job to the pending queue, keeping the
@@ -582,6 +637,7 @@ func (e *Engine) Step() bool {
 		}
 		e.finish(ev.h, ev.t)
 	}
+	e.afterEvent()
 	return true
 }
 
@@ -638,33 +694,36 @@ func (e *Engine) Deadlocked() bool {
 // in-flight jobs.
 func (e *Engine) RunSource(src trace.Source, horizon float64) error {
 	for {
-		var j trace.Job
-		if e.hasHeld {
-			j = e.held
-		} else {
-			var ok bool
-			j, ok = src.Next()
+		if !e.hasHeld {
+			j, ok := src.Next()
 			if !ok {
 				break
 			}
-		}
-		if horizon > 0 && j.Arrival > horizon {
+			// Hold the job the moment it leaves the source: a snapshot
+			// taken while the clock advances toward its arrival then
+			// carries it, and the restored engine re-submits it instead
+			// of losing it.
 			e.held, e.hasHeld = j, true
+		}
+		j := e.held
+		if horizon > 0 && j.Arrival > horizon {
 			e.RunUntil(horizon * e.cfg.Load * e.cfg.TimeScale)
 			return nil
 		}
-		e.hasHeld = false
 		e.RunUntil(j.Arrival * e.cfg.Load * e.cfg.TimeScale)
 		if err := e.Submit(j); err != nil {
 			return err
 		}
+		e.held, e.hasHeld = trace.Job{}, false
 	}
 	e.Drain()
 	if e.Deadlocked() {
 		return fmt.Errorf("sim: deadlock with %d queued and %d running jobs",
 			len(e.queue), e.store.live)
 	}
-	return nil
+	// The exhausted-source drain is the open-system run's natural end;
+	// close it with the same invariant pass batch Run applies.
+	return e.Audit()
 }
 
 // Result snapshots the run's aggregate outcome. With KeepRecords left
@@ -776,6 +835,7 @@ func (e *Engine) processFault() {
 			e.trySchedule(e.now)
 		}
 	}
+	e.afterEvent()
 }
 
 // setFlag sets the down (isDown true) or drained flag of node n and

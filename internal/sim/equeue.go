@@ -16,9 +16,19 @@ type eventQueue interface {
 	// head returns the earliest event's time and kind without removing
 	// it; ok is false on an empty queue.
 	head() (t float64, kind int, ok bool)
+	// each visits every queued event in unspecified order without
+	// consuming it — the snapshot walk. Events carry their assigned seq,
+	// so any visit order re-pushes into an equivalent queue.
+	each(fn func(event))
 }
 
 func (h *eventHeap) len() int { return len(*h) }
+
+func (h *eventHeap) each(fn func(event)) {
+	for _, ev := range *h {
+		fn(ev)
+	}
+}
 
 func (h *eventHeap) head() (float64, int, bool) {
 	if len(*h) == 0 {
@@ -305,6 +315,20 @@ func (q *calQueue) fallbackToHeap() {
 	}
 	q.count = 0
 	q.fellBack = true
+}
+
+// each visits every queued event. After a heap fallback the buckets are
+// all nil with count zero, so walking both structures unconditionally
+// visits each event exactly once.
+func (q *calQueue) each(fn func(event)) {
+	for _, b := range q.buckets {
+		for _, ev := range b {
+			fn(ev)
+		}
+	}
+	for _, ev := range q.hp {
+		fn(ev)
+	}
 }
 
 // queueStats reports the adaptation counters for the profiling layer.

@@ -161,6 +161,13 @@ type Config struct {
 	// The counted forms are integer-exact, so outputs are bit-identical
 	// either way; the knob exists for equivalence testing.
 	NaiveMetrics bool
+	// AuditEvery, when positive, runs the invariant auditor (see
+	// Engine.Audit) after every AuditEvery-th processed event. A
+	// violation panics — it means engine bookkeeping has diverged, the
+	// same class of bug the engine's other internal checks treat as
+	// fatal. 0 (default) disables periodic auditing; the audit always
+	// runs once at the end of a batch Run and after a snapshot restore.
+	AuditEvery int
 }
 
 // withDefaults fills zero fields with the paper-experiment defaults.
@@ -296,6 +303,13 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	if e.Deadlocked() {
 		return nil, fmt.Errorf("sim: deadlock with %d queued and %d running jobs",
 			e.Pending(), e.RunningJobs())
+	}
+	// Every batch run ends with one pass of the invariant auditor: the
+	// cross-checks are O(machine) against a whole run's work, and a
+	// divergence caught here names the broken invariant instead of
+	// surfacing as a silently wrong digest.
+	if err := e.Audit(); err != nil {
+		return nil, err
 	}
 	return e.Result(), nil
 }

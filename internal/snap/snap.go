@@ -1,0 +1,254 @@
+// Package snap implements the versioned, checksummed binary container
+// used by engine checkpoints. A snapshot is
+//
+//	magic "MSNP" | version uint32 | payload length uint64 | payload | CRC32
+//
+// all little-endian, with the CRC (IEEE) covering magic, version,
+// length, and payload. The payload itself is a flat sequence of typed
+// primitives written by Writer and read back by Reader; the layout is
+// defined entirely by the code that writes it, so the container stays
+// schema-free and the version number gates layout changes.
+//
+// Reader is sticky-error and bounds-checked: any read past the payload,
+// any length prefix larger than the remaining bytes, and any malformed
+// container surface as typed errors (ErrBadMagic, ErrVersion,
+// ErrChecksum, ErrCorrupt) — never a panic — so corrupt or truncated
+// snapshots from a crashed writer are rejected cleanly.
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Magic identifies a snapshot container.
+const Magic = "MSNP"
+
+// Version is the current container layout version. Bump it whenever
+// the payload layout written by the engine changes incompatibly; old
+// snapshots are then rejected with ErrVersion rather than misread.
+const Version uint32 = 1
+
+// maxPayload bounds the declared payload length so a corrupt header
+// cannot trigger a huge allocation before the checksum is verified.
+const maxPayload = 1 << 32
+
+// Typed container errors. They are wrapped with detail; match with
+// errors.Is.
+var (
+	ErrBadMagic = errors.New("snap: bad magic (not a snapshot)")
+	ErrVersion  = errors.New("snap: unsupported snapshot version")
+	ErrChecksum = errors.New("snap: checksum mismatch")
+	ErrCorrupt  = errors.New("snap: corrupt or truncated snapshot")
+)
+
+// Writer accumulates a payload of typed primitives and emits the
+// framed, checksummed container with Flush.
+type Writer struct {
+	buf bytes.Buffer
+	tmp [8]byte
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// U64 appends an unsigned 64-bit value.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.tmp[:], v)
+	w.buf.Write(w.tmp[:])
+}
+
+// I64 appends a signed 64-bit value.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int appends an int.
+func (w *Writer) Int(v int) { w.U64(uint64(int64(v))) }
+
+// F64 appends a float64 by bit pattern (NaN and ±Inf round-trip).
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool appends a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	b := byte(0)
+	if v {
+		b = 1
+	}
+	w.buf.WriteByte(b)
+}
+
+// Bytes appends a length-prefixed byte slice.
+func (w *Writer) Bytes(p []byte) {
+	w.U64(uint64(len(p)))
+	w.buf.Write(p)
+}
+
+// String appends a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U64(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+
+// Len returns the current payload size in bytes.
+func (w *Writer) Len() int { return w.buf.Len() }
+
+// Flush writes the framed container (magic, version, length, payload,
+// CRC32) to out. The Writer keeps its payload, so Flush may be retried
+// on a transient write error.
+func (w *Writer) Flush(out io.Writer) error {
+	head := make([]byte, 0, 16)
+	head = append(head, Magic...)
+	head = binary.LittleEndian.AppendUint32(head, Version)
+	head = binary.LittleEndian.AppendUint64(head, uint64(w.buf.Len()))
+	crc := crc32.NewIEEE()
+	crc.Write(head)
+	crc.Write(w.buf.Bytes())
+	if _, err := out.Write(head); err != nil {
+		return err
+	}
+	if _, err := out.Write(w.buf.Bytes()); err != nil {
+		return err
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := out.Write(tail[:])
+	return err
+}
+
+// Reader decodes a container produced by Writer. All reads are
+// sticky-error: after the first failure every subsequent read returns
+// the zero value and Err reports the failure, so decode loops need a
+// single error check at the end.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader consumes the whole stream from r, validates the container
+// framing and checksum, and returns a Reader positioned at the start of
+// the payload. It returns ErrBadMagic, ErrVersion, ErrChecksum, or
+// ErrCorrupt (wrapped with detail) on a malformed container.
+func NewReader(r io.Reader) (*Reader, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	return newReaderBytes(raw)
+}
+
+func newReaderBytes(raw []byte) (*Reader, error) {
+	const headLen = 4 + 4 + 8
+	if len(raw) < headLen+4 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the container framing", ErrCorrupt, len(raw))
+	}
+	if string(raw[:4]) != Magic {
+		return nil, fmt.Errorf("%w: got %q", ErrBadMagic, raw[:4])
+	}
+	ver := binary.LittleEndian.Uint32(raw[4:8])
+	if ver != Version {
+		return nil, fmt.Errorf("%w: snapshot version %d, this build reads version %d", ErrVersion, ver, Version)
+	}
+	plen := binary.LittleEndian.Uint64(raw[8:16])
+	if plen > maxPayload || int(plen) != len(raw)-headLen-4 {
+		return nil, fmt.Errorf("%w: declared payload %d bytes, container holds %d", ErrCorrupt, plen, len(raw)-headLen-4)
+	}
+	want := binary.LittleEndian.Uint32(raw[len(raw)-4:])
+	got := crc32.ChecksumIEEE(raw[:len(raw)-4])
+	if got != want {
+		return nil, fmt.Errorf("%w: computed %08x, stored %08x", ErrChecksum, got, want)
+	}
+	return &Reader{data: raw[headLen : len(raw)-4]}, nil
+}
+
+// Err returns the first decode error, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of unread payload bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// fail records the first error.
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+	}
+}
+
+// U64 reads an unsigned 64-bit value.
+func (r *Reader) U64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+8 > len(r.data) {
+		r.fail("u64 past end of payload (offset %d of %d)", r.off, len(r.data))
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// I64 reads a signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads a float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off >= len(r.data) {
+		r.fail("bool past end of payload (offset %d of %d)", r.off, len(r.data))
+		return false
+	}
+	b := r.data[r.off]
+	r.off++
+	if b > 1 {
+		r.fail("bool byte %#x at offset %d", b, r.off-1)
+		return false
+	}
+	return b == 1
+}
+
+// Bytes reads a length-prefixed byte slice. The returned slice aliases
+// the Reader's buffer; copy it if it must outlive the Reader.
+func (r *Reader) Bytes() []byte {
+	n := r.U64()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.fail("byte slice of %d exceeds %d remaining payload bytes", n, len(r.data)-r.off)
+		return nil
+	}
+	p := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return p
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes()) }
+
+// Count reads a non-negative element count bounded by max, for sizing
+// slice allocations before their contents are decoded. A corrupt count
+// fails the Reader instead of triggering a huge allocation.
+func (r *Reader) Count(max int) int {
+	n := r.I64()
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > int64(max) {
+		r.fail("count %d outside [0, %d]", n, max)
+		return 0
+	}
+	return int(n)
+}

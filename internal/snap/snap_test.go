@@ -1,0 +1,208 @@
+package snap
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// TestRoundTrip writes every primitive and reads it back.
+func TestRoundTrip(t *testing.T) {
+	w := NewWriter()
+	w.U64(42)
+	w.I64(-7)
+	w.Int(123456)
+	w.F64(3.14159)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte{1, 2, 3})
+	w.String("hello")
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.U64(); got != 42 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := r.I64(); got != -7 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := r.Int(); got != 123456 {
+		t.Errorf("Int = %d", got)
+	}
+	if got := r.F64(); got != 3.14159 {
+		t.Errorf("F64 = %v", got)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool round-trip failed")
+	}
+	if got := r.Bytes(); !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Errorf("Bytes = %v", got)
+	}
+	if got := r.String(); got != "hello" {
+		t.Errorf("String = %q", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("%d bytes left over", r.Remaining())
+	}
+}
+
+// container returns a small valid snapshot for corruption tests.
+func container(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter()
+	w.U64(1)
+	w.String("payload")
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestBadMagic(t *testing.T) {
+	raw := container(t)
+	raw[0] = 'X'
+	if _, err := NewReader(bytes.NewReader(raw)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestBadVersion(t *testing.T) {
+	raw := container(t)
+	raw[4] = 99
+	if _, err := NewReader(bytes.NewReader(raw)); !errors.Is(err, ErrVersion) {
+		t.Fatalf("err = %v, want ErrVersion", err)
+	}
+}
+
+func TestChecksumMismatch(t *testing.T) {
+	raw := container(t)
+	raw[len(raw)-6] ^= 0x40 // flip a payload bit
+	if _, err := NewReader(bytes.NewReader(raw)); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	raw := container(t)
+	for cut := 0; cut < len(raw); cut++ {
+		_, err := NewReader(bytes.NewReader(raw[:cut]))
+		if err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+		if !errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrChecksum) && !errors.Is(err, ErrBadMagic) {
+			t.Fatalf("truncation to %d: untyped error %v", cut, err)
+		}
+	}
+}
+
+// TestStickyReads verifies reading past the payload end is a typed
+// error, not a panic, and subsequent reads stay failed.
+func TestStickyReads(t *testing.T) {
+	w := NewWriter()
+	w.U64(7)
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.U64()
+	if got := r.U64(); got != 0 {
+		t.Errorf("read past end = %d, want 0", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+	if got := r.String(); got != "" {
+		t.Errorf("sticky String = %q", got)
+	}
+}
+
+// TestHugeLengthPrefix: a byte-slice length pointing past the payload
+// must fail, not allocate or slice out of range.
+func TestHugeLengthPrefix(t *testing.T) {
+	w := NewWriter()
+	w.U64(1 << 60) // bogus length with no bytes behind it
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Bytes(); got != nil {
+		t.Errorf("Bytes = %v, want nil", got)
+	}
+	if !errors.Is(r.Err(), ErrCorrupt) {
+		t.Fatalf("Err = %v, want ErrCorrupt", r.Err())
+	}
+}
+
+// FuzzReader throws arbitrary bytes at the container framing and, when
+// a container is accepted, at every primitive decoder. Nothing here may
+// panic; every rejection must carry one of the typed sentinels.
+func FuzzReader(f *testing.F) {
+	w := NewWriter()
+	w.U64(42)
+	w.String("seed")
+	w.Bool(true)
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add(buf.Bytes()[:5])
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		r, err := NewReader(bytes.NewReader(raw))
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrVersion) &&
+				!errors.Is(err, ErrChecksum) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("untyped container rejection: %v", err)
+			}
+			return
+		}
+		r.U64()
+		_ = r.String()
+		r.Count(16)
+		r.F64()
+		r.Bool()
+		_ = r.Bytes()
+		if err := r.Err(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped decode error: %v", err)
+		}
+	})
+}
+
+func TestCountBounds(t *testing.T) {
+	w := NewWriter()
+	w.Int(10)
+	w.Int(-3)
+	var buf bytes.Buffer
+	if err := w.Flush(&buf); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Count(100); got != 10 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := r.Count(100); got != 0 || r.Err() == nil {
+		t.Errorf("negative count accepted: %d, err %v", got, r.Err())
+	}
+}

@@ -4,17 +4,76 @@
 // Pearson correlation, linear regression, histogram binning).
 package stats
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
+
+// countingSource wraps a rand.Source and counts Int63 draws. It
+// deliberately does NOT implement rand.Source64: math/rand's Rand
+// routes every method through Source.Int63 when the source lacks
+// Source64 (only Rand.Uint64 differs, and RNG never exposes it), so
+// interposing the counter leaves every variate bit-identical while the
+// draw count becomes an exact stream position for checkpoint/restore.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.src.Seed(seed)
+	c.n = 0
+}
 
 // RNG is a deterministic pseudo-random source. All simulator randomness
 // flows through RNG so that a (seed, config) pair fully determines a run.
 type RNG struct {
-	r *rand.Rand
+	r    *rand.Rand
+	cnt  *countingSource
+	seed int64
 }
 
 // NewRNG returns a generator seeded with seed.
 func NewRNG(seed int64) *RNG {
-	return &RNG{r: rand.New(rand.NewSource(seed))}
+	cnt := &countingSource{src: rand.NewSource(seed)}
+	return &RNG{r: rand.New(cnt), cnt: cnt, seed: seed}
+}
+
+// NewRNGAt returns a generator seeded with seed and fast-forwarded to
+// stream position pos (the value of Pos on the generator being
+// restored).
+func NewRNGAt(seed int64, pos uint64) *RNG {
+	g := NewRNG(seed)
+	for g.cnt.n < pos {
+		g.cnt.Int63()
+	}
+	return g
+}
+
+// Seed returns the seed the generator was created with.
+func (g *RNG) Seed() int64 { return g.seed }
+
+// Pos returns the stream position: the number of raw 63-bit draws
+// consumed so far. (seed, Pos) fully determines the generator's future
+// output, so snapshots store the pair instead of math/rand's opaque
+// internal state.
+func (g *RNG) Pos() uint64 { return g.cnt.n }
+
+// SkipTo advances the generator to stream position pos. It errors if
+// the generator is already past pos — a restore-time sanity check.
+func (g *RNG) SkipTo(pos uint64) error {
+	if g.cnt.n > pos {
+		return fmt.Errorf("stats: RNG at position %d cannot rewind to %d", g.cnt.n, pos)
+	}
+	for g.cnt.n < pos {
+		g.cnt.Int63()
+	}
+	return nil
 }
 
 // Float64 returns a uniform variate in [0,1).
@@ -71,6 +130,13 @@ type Splitmix64 struct {
 
 // NewSplitmix64 returns a generator seeded with seed.
 func NewSplitmix64(seed int64) *Splitmix64 { return &Splitmix64{state: uint64(seed)} }
+
+// State returns the raw counter state; SetState restores it. The pair
+// makes a Splitmix64 snapshot exactly 8 bytes.
+func (g *Splitmix64) State() uint64 { return g.state }
+
+// SetState restores a state previously returned by State.
+func (g *Splitmix64) SetState(s uint64) { g.state = s }
 
 // Next returns the next raw 64-bit value.
 func (g *Splitmix64) Next() uint64 {

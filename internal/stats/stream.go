@@ -45,6 +45,23 @@ func (w *Welford) Variance() float64 {
 // StdDev returns the running population standard deviation.
 func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
 
+// WelfordState is the serializable state of a Welford accumulator.
+type WelfordState struct {
+	N    int
+	Mean float64
+	M2   float64
+}
+
+// State captures the accumulator for a snapshot.
+func (w *Welford) State() WelfordState {
+	return WelfordState{N: w.n, Mean: w.mean, M2: w.m2}
+}
+
+// SetState restores a state previously returned by State.
+func (w *Welford) SetState(s WelfordState) {
+	w.n, w.mean, w.m2 = s.N, s.Mean, s.M2
+}
+
 // P2Quantile estimates one quantile of a stream in O(1) memory with the
 // P² algorithm of Jain and Chlamtac (CACM 1985): five markers straddle
 // the target quantile and are nudged toward their desired rank
@@ -71,6 +88,33 @@ func NewP2Quantile(p float64) *P2Quantile {
 		p:   p,
 		inc: [5]float64{0, p / 2, p, (1 + p) / 2, 1},
 	}
+}
+
+// P2State is the serializable state of a P2Quantile estimator: the
+// five marker heights/positions/targets plus the bootstrap buffer that
+// holds the first five observations exactly.
+type P2State struct {
+	P    float64
+	N    int
+	Q    [5]float64
+	Pos  [5]float64
+	Des  [5]float64
+	Inc  [5]float64
+	Boot []float64
+}
+
+// State captures the estimator for a snapshot.
+func (e *P2Quantile) State() P2State {
+	return P2State{
+		P: e.p, N: e.n, Q: e.q, Pos: e.pos, Des: e.des, Inc: e.inc,
+		Boot: append([]float64(nil), e.boot...),
+	}
+}
+
+// SetState restores a state previously returned by State.
+func (e *P2Quantile) SetState(s P2State) {
+	e.p, e.n, e.q, e.pos, e.des, e.inc = s.P, s.N, s.Q, s.Pos, s.Des, s.Inc
+	e.boot = append(e.boot[:0], s.Boot...)
 }
 
 // Add folds one observation into the estimator.

@@ -112,6 +112,81 @@ func (s *Synthetic) Next() (Job, bool) {
 	return j, true
 }
 
+// SourceState is the serializable position of a Source built by this
+// package. Synthetic sources restore by fast-forwarding a fresh
+// generator's RNG to the recorded draw position (the stream itself is a
+// pure function of the construction parameters); trace replays and
+// limits restore their cursors. Inner nests for wrapped sources.
+type SourceState struct {
+	Kind   string // "synthetic", "trace", or "limit"
+	RNGPos uint64
+	OnLeft float64
+	Now    float64
+	Next   int
+	Index  int
+	Left   int
+	Inner  *SourceState
+}
+
+// CaptureSource snapshots the position of a Source built by this
+// package. It errors on source types it does not know how to restore.
+func CaptureSource(src Source) (SourceState, error) {
+	switch s := src.(type) {
+	case *Synthetic:
+		return SourceState{
+			Kind: "synthetic", RNGPos: s.rng.Pos(),
+			OnLeft: s.onLeft, Now: s.now, Next: s.next,
+		}, nil
+	case *traceSource:
+		return SourceState{Kind: "trace", Index: s.i}, nil
+	case *limited:
+		inner, err := CaptureSource(s.src)
+		if err != nil {
+			return SourceState{}, err
+		}
+		return SourceState{Kind: "limit", Left: s.left, Inner: &inner}, nil
+	default:
+		return SourceState{}, fmt.Errorf("trace: cannot snapshot source type %T", src)
+	}
+}
+
+// RestoreSource fast-forwards a freshly constructed source (built with
+// the same parameters as the one captured) to the recorded position.
+// It errors on a kind/type mismatch or an out-of-range cursor.
+func RestoreSource(src Source, st SourceState) error {
+	switch s := src.(type) {
+	case *Synthetic:
+		if st.Kind != "synthetic" {
+			return fmt.Errorf("trace: source state kind %q does not match *Synthetic", st.Kind)
+		}
+		if err := s.rng.SkipTo(st.RNGPos); err != nil {
+			return err
+		}
+		s.onLeft, s.now, s.next = st.OnLeft, st.Now, st.Next
+		return nil
+	case *traceSource:
+		if st.Kind != "trace" {
+			return fmt.Errorf("trace: source state kind %q does not match trace replay", st.Kind)
+		}
+		if st.Index < 0 || st.Index > len(s.jobs) {
+			return fmt.Errorf("trace: replay cursor %d outside the %d-job trace", st.Index, len(s.jobs))
+		}
+		s.i = st.Index
+		return nil
+	case *limited:
+		if st.Kind != "limit" || st.Inner == nil {
+			return fmt.Errorf("trace: source state kind %q does not match a limited source", st.Kind)
+		}
+		if st.Left < 0 {
+			return fmt.Errorf("trace: limit remainder %d is negative", st.Left)
+		}
+		s.left = st.Left
+		return RestoreSource(s.src, *st.Inner)
+	default:
+		return fmt.Errorf("trace: cannot restore source type %T", src)
+	}
+}
+
 // limited caps a Source at n jobs.
 type limited struct {
 	src  Source

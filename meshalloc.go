@@ -18,6 +18,9 @@
 //   - a flit-level-approximating wormhole network model of the mesh;
 //   - a synthetic SDSC-Paragon workload generator and trace I/O;
 //   - FCFS (and, as an extension, EASY backfilling) scheduling;
+//   - versioned, checksummed engine snapshots (Engine.Snapshot /
+//     RestoreEngine) for crash-safe resume, plus a runtime invariant
+//     auditor (Engine.Audit, Config.AuditEvery);
 //   - an experiment harness regenerating every figure in the paper.
 //
 // Quick start (closed-system batch replay, the paper's setup):
@@ -49,6 +52,7 @@ import (
 	"meshalloc/internal/core"
 	"meshalloc/internal/fault"
 	"meshalloc/internal/sim"
+	"meshalloc/internal/snap"
 	"meshalloc/internal/trace"
 )
 
@@ -144,6 +148,44 @@ var ErrOversize = sim.ErrOversize
 // OversizeError carries the offending job and capacity details of an
 // ErrOversize rejection.
 type OversizeError = sim.OversizeError
+
+// RestoreEngine rebuilds an engine from a snapshot written by
+// Engine.Snapshot. cfg must describe the same simulation as the
+// snapshotted run (same seed, mesh, allocator, workload and fault
+// parameters); ErrConfigMismatch reports a divergence. The restored
+// engine continues bit-identically to the original. See
+// sim.RestoreEngine.
+func RestoreEngine(r io.Reader, cfg Config) (*Engine, error) { return sim.RestoreEngine(r, cfg) }
+
+// ErrConfigMismatch is matched (via errors.Is) by RestoreEngine when
+// the snapshot was taken under a different configuration.
+var ErrConfigMismatch = sim.ErrConfigMismatch
+
+// Snapshot container errors, matched via errors.Is against
+// RestoreEngine failures: a non-snapshot file, an incompatible format
+// version, a checksum failure, or any other corruption.
+var (
+	ErrSnapshotBadMagic = snap.ErrBadMagic
+	ErrSnapshotVersion  = snap.ErrVersion
+	ErrSnapshotChecksum = snap.ErrChecksum
+	ErrSnapshotCorrupt  = snap.ErrCorrupt
+)
+
+// InvariantViolation is one failed engine invariant reported by
+// Engine.Audit (matched via errors.As). See sim.Violation.
+type InvariantViolation = sim.Violation
+
+// SourceState is the serializable position of a Source built by this
+// package; capture alongside Engine.Snapshot to checkpoint an
+// open-system run. See trace.SourceState.
+type SourceState = trace.SourceState
+
+// CaptureSource snapshots a source's position. See trace.CaptureSource.
+func CaptureSource(src Source) (SourceState, error) { return trace.CaptureSource(src) }
+
+// RestoreSource fast-forwards a freshly built source to a captured
+// position. See trace.RestoreSource.
+func RestoreSource(src Source, st SourceState) error { return trace.RestoreSource(src, st) }
 
 // SWFSkip is a line-numbered diagnostic from the lenient SWF reader.
 type SWFSkip = trace.SWFSkip
